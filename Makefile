@@ -1,0 +1,46 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-quick repro verify examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector (slow on small machines).
+race:
+	$(GO) test -race ./...
+
+# Every paper figure/table as a testing.B bench, fixed op count for speed.
+bench-quick:
+	$(GO) test -bench=. -benchmem -benchtime=50000x ./...
+
+# Paper-style benches with time-based sampling (slower, steadier numbers).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the full experiment grid into report.md.
+repro:
+	$(GO) run ./cmd/pqrepro -out report.md
+
+# Check claimed relaxation bounds against observed rank errors.
+verify:
+	$(GO) run ./cmd/pqverify
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sssp
+	$(GO) run ./examples/dessim
+	$(GO) run ./examples/branchbound
+	$(GO) run ./examples/pqsort
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,176 @@
+// Command pqbench runs the paper's throughput benchmark and prints one
+// table per cell: thread count vs. queue implementation, in MOps/s with
+// 95% confidence intervals over repeated runs.
+//
+// Regenerate a specific paper figure:
+//
+//	pqbench -figure 1                 # Figure 1 / 4a: uniform workload, uniform 32-bit keys
+//	pqbench -figure 4e -duration 10s -reps 10
+//
+// or specify the cell explicitly:
+//
+//	pqbench -workload split -keys ascending -threads 1,2,4,8 \
+//	        -queues klsm128,klsm256,klsm4096,linden,spray,multiq,globallock
+//
+// The defaults use a short duration and few repetitions so a full sweep
+// stays laptop-friendly; the paper's setup corresponds to -duration 10s
+// -reps 10 -prefill 1000000.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cpq"
+	"cpq/internal/cli"
+	"cpq/internal/harness"
+	"cpq/internal/keys"
+	"cpq/internal/pq"
+	"cpq/internal/workload"
+)
+
+func main() {
+	var (
+		figure    = flag.String("figure", "", "paper figure to regenerate (1, 2, 3, 4a-4h, 8a-8c); overrides -workload/-keys")
+		workloadF = flag.String("workload", "uniform", "workload: uniform, split, alternating")
+		keysF     = flag.String("keys", "uniform32", "key distribution: uniform32, uniform16, uniform8, ascending, descending")
+		queuesF   = flag.String("queues", "", "comma-separated queue list (default: the paper's seven variants)")
+		threadsF  = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		duration  = flag.Duration("duration", time.Second, "measurement duration per run (paper: 10s)")
+		reps      = flag.Int("reps", 3, "repetitions per cell (paper: 10)")
+		prefill   = flag.Int("prefill", harness.DefaultPrefill, "prefill size (paper: 1000000)")
+		seed      = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
+		pin       = flag.Bool("pin", false, "lock worker goroutines to OS threads")
+		batch     = flag.Int("batch", 1, "operation batch size for the alternating workload (Appendix F)")
+		opsMode   = flag.Int("ops", 0, "latency mode: run this many ops per thread instead of a fixed duration")
+		machine   = flag.String("machine", "localhost", "machine label; the paper's hosts (mars, saturn, ceres, pluto) preset the thread sweep of their figures")
+		csvOut    = flag.Bool("csv", false, "emit CSV (threads,queue,mops,ci) instead of a table")
+		markdown  = flag.Bool("markdown", false, "emit a markdown table instead of plain text")
+		plot      = flag.Bool("plot", false, "also render an ASCII chart of throughput vs threads (like the paper's figures)")
+	)
+	flag.Parse()
+
+	wl, err := workload.Parse(*workloadF)
+	exitOn(err)
+	kd, err := keys.Parse(*keysF)
+	exitOn(err)
+	cellID := ""
+	if *figure != "" {
+		cell, err := cli.FigureByID(*figure)
+		exitOn(err)
+		wl, kd, cellID = cell.Workload, cell.KeyDist, cell.ID
+	}
+	threads, err := cli.ParseThreads(*threadsF)
+	exitOn(err)
+	if m, ok := cli.MachineByName(*machine); ok && !flagSet("threads") {
+		threads = m.Threads // paper-machine preset, unless -threads overrides
+	}
+	queueNames := cpq.PaperNames()
+	if *queuesF != "" {
+		queueNames = cli.ParseList(*queuesF)
+	}
+	for _, name := range queueNames { // validate before burning benchmark time
+		_, err := cpq.New(name, 1)
+		exitOn(err)
+	}
+
+	header := fmt.Sprintf("# machine=%s workload=%s keys=%s prefill=%d duration=%v reps=%d",
+		*machine, wl, kd, *prefill, *duration, *reps)
+	if cellID != "" {
+		header = fmt.Sprintf("# figure %s  %s", cellID, header[2:])
+	}
+	fmt.Println(header)
+
+	var table cli.Table
+	row := []string{"threads"}
+	for _, name := range queueNames {
+		row = append(row, name)
+	}
+	table.AddRow(row...)
+	curves := map[string][]float64{}
+	for _, p := range threads {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, name := range queueNames {
+			name := name
+			cfg := harness.Config{
+				NewQueue: func(t int) pq.Queue {
+					q, err := cpq.New(name, t)
+					exitOn(err)
+					return q
+				},
+				Threads:   p,
+				Duration:  *duration,
+				Workload:  wl,
+				KeyDist:   kd,
+				Prefill:   *prefill,
+				BatchSize: *batch,
+				Seed:      *seed,
+				Pin:       *pin,
+			}
+			if *opsMode > 0 {
+				// Latency mode: fixed op count; report elapsed time and
+				// sampled per-op latency percentiles.
+				res := harness.RunOps(cfg, *opsMode)
+				row = append(row, fmt.Sprintf("%.3fs p50=%.0fns p99=%.0fns",
+					res.Duration.Seconds(), res.LatencyP50, res.LatencyP99))
+				curves[name] = append(curves[name], res.MOps())
+			} else {
+				s := harness.RunRepeated(cfg, *reps)
+				row = append(row, fmt.Sprintf("%.3f ±%.3f", s.Throughput.Mean, s.Throughput.CI95))
+				curves[name] = append(curves[name], s.Throughput.Mean)
+			}
+		}
+		table.AddRow(row...)
+	}
+	switch {
+	case *csvOut:
+		fmt.Println("threads,queue,mops,ci95")
+		for i, p := range threads {
+			for j, name := range queueNames {
+				_ = i
+				fmt.Printf("%d,%s,%s\n", p, name, csvCell(table, i+1, j+1))
+			}
+		}
+	case *markdown:
+		fmt.Print(table.Markdown())
+	default:
+		fmt.Print(table.String())
+	}
+	fmt.Println("# cells are MOps/s (insertions+deletions per second / 1e6), mean ±95% CI")
+	if *plot {
+		chart := cli.NewPlot(header, threads)
+		chart.XLabel, chart.YLabel = "threads", "MOps/s"
+		for _, name := range queueNames {
+			chart.AddSeries(name, curves[name])
+		}
+		fmt.Println()
+		fmt.Print(chart.String())
+	}
+}
+
+// flagSet reports whether the named flag was explicitly provided.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// csvCell converts a rendered "m ±c" cell into "m,c".
+func csvCell(t cli.Table, row, col int) string {
+	cell := t.Cell(row, col)
+	return strings.NewReplacer(" ±", ",", "±", "").Replace(cell)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pqbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,133 @@
+// Command pqquality runs the paper's rank-error (quality) benchmark and
+// prints, for each thread count, the mean rank and standard deviation of
+// every queue's delete_min results — the format of the paper's Tables 1-5.
+// A strict queue scores (near) zero; relaxed queues are characterized by
+// how their rank error grows with threads and relaxation parameter.
+//
+//	pqquality -table 1                    # Table 1/2a: uniform workload & keys
+//	pqquality -workload alternating -keys descending -threads 2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cpq"
+	"cpq/internal/cli"
+	"cpq/internal/keys"
+	"cpq/internal/pq"
+	"cpq/internal/quality"
+	"cpq/internal/workload"
+)
+
+func main() {
+	var (
+		table     = flag.String("table", "", "paper table panel to regenerate (1, 2a-2h, 5a-5c); overrides -workload/-keys")
+		workloadF = flag.String("workload", "uniform", "workload: uniform, split, alternating")
+		keysF     = flag.String("keys", "uniform32", "key distribution: uniform32, uniform16, uniform8, ascending, descending")
+		queuesF   = flag.String("queues", "", "comma-separated queue list (default: the paper's seven variants)")
+		threadsF  = flag.String("threads", "2,4,8", "comma-separated thread counts (paper: 2,4,8)")
+		ops       = flag.Int("ops", 50_000, "operations per thread in the measured phase")
+		prefill   = flag.Int("prefill", 100_000, "prefill size (quality runs replay the whole log; keep moderate)")
+		seed      = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
+		machine   = flag.String("machine", "localhost", "machine label for the output header")
+		markdown  = flag.Bool("markdown", false, "emit a markdown table instead of plain text")
+		hist      = flag.Bool("hist", false, "also print the rank histogram (power-of-two buckets) per cell")
+	)
+	flag.Parse()
+
+	wl, err := workload.Parse(*workloadF)
+	exitOn(err)
+	kd, err := keys.Parse(*keysF)
+	exitOn(err)
+	if *table != "" {
+		cell, err := cli.TableByID(*table)
+		exitOn(err)
+		wl, kd = cell.Workload, cell.KeyDist
+	}
+	threads, err := cli.ParseThreads(*threadsF)
+	exitOn(err)
+	queueNames := cpq.PaperNames()
+	if *queuesF != "" {
+		queueNames = cli.ParseList(*queuesF)
+	}
+	for _, name := range queueNames {
+		_, err := cpq.New(name, 1)
+		exitOn(err)
+	}
+
+	fmt.Printf("# machine=%s workload=%s keys=%s prefill=%d ops/thread=%d\n",
+		*machine, wl, kd, *prefill, *ops)
+
+	var out cli.Table
+	header := []string{"queue"}
+	for _, p := range threads {
+		header = append(header, fmt.Sprintf("%d threads", p))
+	}
+	out.AddRow(header...)
+	for _, name := range queueNames {
+		name := name
+		row := []string{name}
+		for _, p := range threads {
+			res := quality.Run(quality.Config{
+				NewQueue: func(t int) pq.Queue {
+					q, err := cpq.New(name, t)
+					exitOn(err)
+					return q
+				},
+				Threads:      p,
+				OpsPerThread: *ops,
+				Workload:     wl,
+				KeyDist:      kd,
+				Prefill:      *prefill,
+				Seed:         *seed,
+			})
+			row = append(row, fmt.Sprintf("%.1f (%.1f)", res.MeanRank, res.StddevRank))
+			if *hist {
+				fmt.Printf("# %s @%d threads: max=%d histogram=%s\n",
+					name, p, res.MaxRank, histString(res.Histogram))
+			}
+		}
+		out.AddRow(row...)
+	}
+	if *markdown {
+		fmt.Print(out.Markdown())
+	} else {
+		fmt.Print(out.String())
+	}
+	fmt.Println("# cells are mean rank (stddev); rank 0 = exact minimum")
+}
+
+// histString renders the power-of-two rank histogram compactly:
+// "0:12345 1:678 2-3:90 ...".
+func histString(h []uint64) string {
+	out := ""
+	for b, c := range h {
+		if c == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		switch b {
+		case 0:
+			out += fmt.Sprintf("0:%d", c)
+		case 1:
+			out += fmt.Sprintf("1:%d", c)
+		default:
+			out += fmt.Sprintf("%d-%d:%d", 1<<(b-1), 1<<b-1, c)
+		}
+	}
+	if out == "" {
+		return "(empty)"
+	}
+	return out
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pqquality:", err)
+		os.Exit(1)
+	}
+}

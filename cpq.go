@@ -1,0 +1,218 @@
+// Package cpq is a suite of concurrent priority queues with relaxed and
+// strict semantics, reproducing the data structures and benchmarks of
+// "Benchmarking Concurrent Priority Queues: Performance of k-LSM and Related
+// Data Structures" (Gruber, Träff, Wimmer — SPAA 2016).
+//
+// All queues store (key, value) pairs of uint64 with smaller keys deleted
+// first, and support exactly two operations: Insert and DeleteMin. Queues
+// are accessed through per-goroutine Handles, which carry the thread-local
+// state several of the designs depend on (the k-LSM's distributed component,
+// per-thread random number generators):
+//
+//	q := cpq.NewKLSM(4096)
+//	h := q.Handle() // one per goroutine
+//	h.Insert(13, 37)
+//	key, value, ok := h.DeleteMin()
+//
+// # Implementations
+//
+//   - NewKLSM: the k-LSM relaxed queue (lock-free, linearizable; DeleteMin
+//     returns one of the kP smallest items, P = number of handles).
+//   - NewDLSM, NewSLSM: the k-LSM's two components as standalone queues.
+//   - NewLinden: the Lindén-Jonsson skiplist queue (strict, lock-free).
+//   - NewSprayList: the SprayList (relaxed, lock-free, random-walk deletes).
+//   - NewMultiQueue: the MultiQueue (relaxed, c·P locked sequential heaps).
+//   - NewGlobalLock: sequential binary heap behind one mutex (baseline).
+//   - NewLotan: Shavit-Lotan style skiplist queue (strict at quiescence).
+//   - NewHunt: the Hunt et al. fine-grained locked heap.
+//   - NewMound: a lock-based Mound (tree of sorted lists).
+//   - NewCBPQ: a chunk-based priority queue (FAA-filled chunks, strict).
+//
+// The registry (New, Names) maps the paper's benchmark identifiers
+// ("klsm128", "linden", "spray", "multiq", "globallock", ...) to factories,
+// parameterized by the intended thread count where the structure needs it.
+package cpq
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cpq/internal/cbpq"
+	"cpq/internal/core"
+	"cpq/internal/hunt"
+	"cpq/internal/linden"
+	"cpq/internal/locksl"
+	"cpq/internal/lotan"
+	"cpq/internal/mound"
+	"cpq/internal/multiq"
+	"cpq/internal/pq"
+	"cpq/internal/seqheap"
+	"cpq/internal/spray"
+)
+
+// Queue is a concurrent priority queue; see the package documentation.
+type Queue = pq.Queue
+
+// Handle is a per-goroutine access handle; see the package documentation.
+type Handle = pq.Handle
+
+// Item is a key-value pair.
+type Item = pq.Item
+
+// NewKLSM returns a k-LSM relaxed priority queue with relaxation parameter
+// k. DeleteMin returns one of the kP smallest items, where P is the number
+// of handles in use. The paper evaluates k ∈ {128, 256, 4096}.
+func NewKLSM(k int) *core.KLSM { return core.NewKLSM(k) }
+
+// NewDLSM returns the k-LSM's thread-local component as a standalone queue:
+// embarrassingly parallel, with work stealing when a handle runs empty.
+func NewDLSM() *core.DLSM { return core.NewDLSM() }
+
+// NewSLSM returns the k-LSM's shared component as a standalone queue:
+// a global LSM whose DeleteMin skips at most k items.
+func NewSLSM(k int) *core.SLSM { return core.NewSLSM(k) }
+
+// NewLinden returns a Lindén-Jonsson strict lock-free skiplist queue with
+// the default physical-deletion batching threshold.
+func NewLinden() *linden.Queue { return linden.New(0) }
+
+// NewLindenBound returns a Lindén-Jonsson queue with an explicit batching
+// threshold (the design's main tuning parameter).
+func NewLindenBound(boundOffset int) *linden.Queue { return linden.New(boundOffset) }
+
+// NewSprayList returns a SprayList tuned for up to p concurrent threads.
+func NewSprayList(p int) *spray.Queue { return spray.New(p) }
+
+// NewSprayListParams returns a SprayList with explicit spray parameters.
+func NewSprayListParams(p int, params spray.Params) *spray.Queue {
+	return spray.NewParams(p, params)
+}
+
+// NewMultiQueue returns a MultiQueue with c·p sequential sub-queues
+// (c <= 0 selects the paper's c = 4).
+func NewMultiQueue(c, p int) *multiq.Queue { return multiq.New(c, p) }
+
+// NewMultiQueueDAry returns a MultiQueue whose sub-queues are d-ary heaps
+// instead of binary heaps (the sub-heap ablation).
+func NewMultiQueueDAry(c, p, d int) *multiq.Queue {
+	return multiq.NewWith(c, p, func() multiq.SubHeap { return seqheap.NewDHeap(d, 0) })
+}
+
+// NewGlobalLock returns the baseline: a sequential binary heap protected by
+// a single global mutex.
+func NewGlobalLock() *seqheap.GlobalLock { return seqheap.NewGlobalLock() }
+
+// NewLotan returns a Shavit-Lotan style skiplist queue.
+func NewLotan() *lotan.Queue { return lotan.New() }
+
+// NewHunt returns the Hunt et al. fine-grained locked heap.
+func NewHunt() *hunt.Queue { return hunt.New(0) }
+
+// NewMound returns a lock-based Mound queue.
+func NewMound() *mound.Queue { return mound.New() }
+
+// NewCBPQ returns a chunk-based priority queue (strict).
+func NewCBPQ() *cbpq.Queue { return cbpq.New() }
+
+// NewLockedSkiplist returns a skiplist behind one global mutex — the second
+// global-lock baseline (appendix D), isolating the sequential-structure
+// cost (pointer skiplist vs. array heap) from concurrency effects.
+func NewLockedSkiplist() *locksl.Queue { return locksl.New() }
+
+// NewMultiQueuePairing returns a MultiQueue whose sub-queues are pairing
+// heaps (sequential-substrate ablation).
+func NewMultiQueuePairing(c, p int) *multiq.Queue {
+	return multiq.NewWith(c, p, func() multiq.SubHeap { return &seqheap.PairingHeap{} })
+}
+
+// New constructs a queue by its benchmark identifier, e.g. "klsm128",
+// "linden", "spray", "multiq", "globallock", "lotan", "dlsm", "slsm256",
+// "hunt", "mound". threads is the intended number of concurrent handles;
+// structures that do not depend on it ignore it.
+func New(name string, threads int) (Queue, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	n := strings.ToLower(strings.TrimSpace(name))
+	switch {
+	case n == "linden":
+		return NewLinden(), nil
+	case n == "spray", n == "spraylist":
+		return NewSprayList(threads), nil
+	case n == "multiq", n == "multiqueue":
+		return NewMultiQueue(multiq.DefaultC, threads), nil
+	case n == "globallock", n == "heap":
+		return NewGlobalLock(), nil
+	case n == "lotan":
+		return NewLotan(), nil
+	case n == "dlsm":
+		return NewDLSM(), nil
+	case n == "hunt":
+		return NewHunt(), nil
+	case n == "mound":
+		return NewMound(), nil
+	case n == "cbpq":
+		return NewCBPQ(), nil
+	case n == "locksl", n == "lockedskiplist":
+		return NewLockedSkiplist(), nil
+	case strings.HasPrefix(n, "klsm"):
+		k, err := strconv.Atoi(n[len("klsm"):])
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("cpq: bad k-LSM relaxation in %q", name)
+		}
+		return NewKLSM(k), nil
+	case strings.HasPrefix(n, "slsm"):
+		k, err := strconv.Atoi(n[len("slsm"):])
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("cpq: bad SLSM relaxation in %q", name)
+		}
+		return NewSLSM(k), nil
+	case strings.HasPrefix(n, "multiq"):
+		c, err := strconv.Atoi(n[len("multiq"):])
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("cpq: bad MultiQueue factor in %q", name)
+		}
+		return NewMultiQueue(c, threads), nil
+	}
+	return nil, fmt.Errorf("cpq: unknown queue %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names lists the benchmark identifiers of the paper's seven compared
+// variants plus this suite's extensions, in the paper's display order.
+func Names() []string {
+	return []string{
+		"klsm128", "klsm256", "klsm4096", // the paper's k-LSM variants
+		"linden", "spray", "multiq", "globallock", // the paper's comparisons
+		"lotan", "hunt", "mound", "cbpq", "locksl", "dlsm", "slsm256", // extensions (appendix D)
+	}
+}
+
+// PaperNames lists only the seven variants shown in the paper's figures.
+func PaperNames() []string {
+	return []string{"klsm128", "klsm256", "klsm4096", "linden", "spray", "multiq", "globallock"}
+}
+
+// SortNames orders queue identifiers in canonical display order (paper
+// variants first, then extensions, then unknown names alphabetically).
+func SortNames(names []string) {
+	rank := map[string]int{}
+	for i, n := range Names() {
+		rank[n] = i
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		ri, iok := rank[names[i]]
+		rj, jok := rank[names[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+}

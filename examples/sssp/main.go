@@ -1,0 +1,174 @@
+// Single-source shortest paths with a relaxed concurrent priority queue —
+// one of the applications the paper's introduction names as motivating
+// relaxed semantics ("shortest path algorithms"). Since none of the
+// compared queues support decrease_key (Appendix A), the parallel Dijkstra
+// uses lazy deletion: distances are CAS-updated and stale queue entries are
+// skipped on extraction. A relaxed queue may hand a worker a node that is
+// not the globally closest unsettled one; the algorithm stays correct —
+// such nodes are simply re-relaxed — at the cost of some wasted work, which
+// this example measures.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cpq"
+	"cpq/internal/rng"
+)
+
+type edge struct {
+	to uint32
+	w  uint32
+}
+
+// graph is a random directed graph in adjacency-list form.
+type graph struct {
+	adj [][]edge
+}
+
+func randomGraph(n, degree int, seed uint64) *graph {
+	r := rng.New(seed)
+	g := &graph{adj: make([][]edge, n)}
+	for u := 0; u < n; u++ {
+		for d := 0; d < degree; d++ {
+			v := uint32(r.Uintn(uint64(n)))
+			w := uint32(r.Uintn(1000)) + 1
+			g.adj[u] = append(g.adj[u], edge{to: v, w: w})
+		}
+		// A ring edge keeps the graph strongly connected so every node is
+		// reachable and runs are comparable.
+		g.adj[u] = append(g.adj[u], edge{to: uint32((u + 1) % n), w: 1000})
+	}
+	return g
+}
+
+// sequentialDijkstra is the reference oracle.
+func sequentialDijkstra(g *graph, src int) []uint64 {
+	n := len(g.adj)
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = math.MaxUint64
+	}
+	dist[src] = 0
+	q := cpq.NewGlobalLock()
+	h := q.Handle()
+	h.Insert(0, uint64(src))
+	for {
+		d, u, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		if d > dist[u] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[u] {
+			if nd := d + uint64(e.w); nd < dist[e.to] {
+				dist[e.to] = nd
+				h.Insert(nd, uint64(e.to))
+			}
+		}
+	}
+	return dist
+}
+
+// parallelSSSP runs Dijkstra with lazy deletion over a concurrent queue.
+// dist entries are updated by CAS. Termination uses an exact pending-work
+// counter: it is incremented BEFORE every insert and decremented after the
+// extracted entry has been fully processed, so pending == 0 together with
+// an empty DeleteMin means no work exists anywhere in the system.
+func parallelSSSP(g *graph, src, workers int, q cpq.Queue) (dist []atomic.Uint64, wasted uint64) {
+	n := len(g.adj)
+	dist = make([]atomic.Uint64, n)
+	for i := range dist {
+		dist[i].Store(math.MaxUint64)
+	}
+	dist[src].Store(0)
+	var pending atomic.Int64
+	seedHandle := q.Handle()
+	pending.Add(1)
+	seedHandle.Insert(0, uint64(src))
+
+	var wastedCtr atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := q.Handle()
+			for {
+				d, uRaw, ok := h.DeleteMin()
+				if !ok {
+					if pending.Load() == 0 {
+						return
+					}
+					continue // a peer is still relaxing; its inserts will show up
+				}
+				u := int(uRaw)
+				if d > dist[u].Load() {
+					wastedCtr.Add(1) // stale: a shorter path was settled
+				} else {
+					for _, e := range g.adj[u] {
+						nd := d + uint64(e.w)
+						for {
+							cur := dist[e.to].Load()
+							if nd >= cur {
+								break
+							}
+							if dist[e.to].CompareAndSwap(cur, nd) {
+								pending.Add(1)
+								h.Insert(nd, uint64(e.to))
+								break
+							}
+						}
+					}
+				}
+				pending.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	return dist, wastedCtr.Load()
+}
+
+func main() {
+	const (
+		nodes   = 50_000
+		degree  = 8
+		workers = 4
+		src     = 0
+	)
+	g := randomGraph(nodes, degree, 12345)
+	t0 := time.Now()
+	want := sequentialDijkstra(g, src)
+	seqTime := time.Since(t0)
+	fmt.Printf("graph: %d nodes, ~%d edges; sequential Dijkstra: %v\n",
+		nodes, nodes*(degree+1), seqTime)
+
+	for _, name := range []string{"globallock", "linden", "multiq", "spray", "klsm256", "klsm4096"} {
+		q, err := cpq.New(name, workers)
+		if err != nil {
+			panic(err)
+		}
+		t0 := time.Now()
+		dist, wasted := parallelSSSP(g, src, workers, q)
+		elapsed := time.Since(t0)
+		mismatches := 0
+		for i := range want {
+			if dist[i].Load() != want[i] {
+				mismatches++
+			}
+		}
+		status := "OK"
+		if mismatches > 0 {
+			status = fmt.Sprintf("WRONG (%d mismatches)", mismatches)
+		}
+		fmt.Printf("  %-10s %8v  wasted extractions: %-7d  distances: %s\n",
+			name, elapsed.Round(time.Millisecond), wasted, status)
+	}
+	fmt.Println("\nRelaxed queues do more wasted work per extraction but scale with cores;")
+	fmt.Println("correctness is identical because stale entries are re-checked against dist[].")
+}

@@ -1,0 +1,3 @@
+module cpq
+
+go 1.22

@@ -1,0 +1,414 @@
+package cbpq
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty returned ok")
+	}
+	if q.Name() != "cbpq" {
+		t.Fatalf("name = %q", q.Name())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestSequentialOrder(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	r := rng.New(1)
+	const n = 10000
+	want := make([]uint64, n)
+	for i := range want {
+		k := r.Uint64() % 5000
+		want[i] = k
+		h.Insert(k, k+9)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < n; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || k != want[i] || v != k+9 {
+			t.Fatalf("deletion %d = %d/%d/%v, want %d", i, k, v, ok, want[i])
+		}
+	}
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestInterleavedSmallKeys(t *testing.T) {
+	// Small keys always route through the head buffer; deletions must see
+	// them immediately even while the sorted array holds larger keys.
+	q := New()
+	h := q.Handle()
+	for k := uint64(1000); k < 2000; k++ {
+		h.Insert(k, 0)
+	}
+	h.Insert(5, 50)
+	if k, v, _ := h.DeleteMin(); k != 5 || v != 50 {
+		t.Fatalf("got %d/%d, want 5/50", k, v)
+	}
+	if k, _, _ := h.DeleteMin(); k != 1000 {
+		t.Fatalf("got %d, want 1000", k)
+	}
+}
+
+func TestDuplicateKeysHeavy(t *testing.T) {
+	// 8-bit keys over many items: exercises the all-equal split fallback.
+	q := New()
+	h := q.Handle()
+	r := rng.New(2)
+	const n = 20000
+	counts := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		k := r.Uint64() % 8 // extremely heavy duplication
+		counts[k]++
+		h.Insert(k, k)
+	}
+	got := map[uint64]int{}
+	var prev uint64
+	for i := 0; i < n; i++ {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			t.Fatalf("empty at %d", i)
+		}
+		if k < prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev = k
+		got[k]++
+	}
+	for k, c := range counts {
+		if got[k] != c {
+			t.Fatalf("key %d: inserted %d, deleted %d", k, c, got[k])
+		}
+	}
+}
+
+func TestAscendingKeysSplitChunks(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	const n = 50000
+	for k := uint64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	if nchunks := len(q.root.Load().chunks); nchunks < 3 {
+		t.Fatalf("only %d chunks after %d ascending inserts", nchunks, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		k, _, ok := h.DeleteMin()
+		if !ok || k != i {
+			t.Fatalf("deletion %d = %d/%v", i, k, ok)
+		}
+	}
+}
+
+func TestRangeTilingInvariant(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	r := rng.New(3)
+	for i := 0; i < 30000; i++ {
+		h.Insert(r.Uint64()%100000, 0)
+		if i%5 == 0 {
+			h.DeleteMin()
+		}
+	}
+	d := q.root.Load()
+	// maxKeys strictly ascending, last = MaxUint64, every item within range.
+	for i := 1; i < len(d.chunks); i++ {
+		if d.chunks[i-1].maxKey >= d.chunks[i].maxKey {
+			t.Fatalf("chunk bounds not ascending at %d: %d >= %d",
+				i, d.chunks[i-1].maxKey, d.chunks[i].maxKey)
+		}
+	}
+	if last := d.chunks[len(d.chunks)-1].maxKey; last != ^uint64(0) {
+		t.Fatalf("last chunk maxKey = %d", last)
+	}
+	lower := uint64(0)
+	for i, c := range d.chunks {
+		var items []pq.Item
+		if c.isFirstStyle() {
+			items = c.sorted
+		} else {
+			n := c.arr.next.Load()
+			if n > int64(len(c.arr.state)) {
+				n = int64(len(c.arr.state))
+			}
+			for j := int64(0); j < n; j++ {
+				if c.arr.state[j].Load() == slotReady {
+					items = append(items, pq.Item{Key: c.arr.keys[j]})
+				}
+			}
+		}
+		for _, it := range items {
+			if it.Key > c.maxKey || (i > 0 && it.Key <= lower) {
+				t.Fatalf("chunk %d: key %d outside (%d, %d]", i, it.Key, lower, c.maxKey)
+			}
+		}
+		lower = c.maxKey
+	}
+}
+
+func TestConcurrentMultisetPreserved(t *testing.T) {
+	q := New()
+	const workers = 8
+	const perWorker = 4000
+	var wg sync.WaitGroup
+	ins := make([][]uint64, workers)
+	del := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 71)
+			for i := 0; i < perWorker; i++ {
+				k := r.Uint64() % 100000
+				h.Insert(k, k)
+				ins[w] = append(ins[w], k)
+				if i%2 == 0 {
+					if k, _, ok := h.DeleteMin(); ok {
+						del[w] = append(del[w], k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all, got []uint64
+	for w := 0; w < workers; w++ {
+		all = append(all, ins[w]...)
+		got = append(got, del[w]...)
+	}
+	h := q.Handle()
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("recovered %d of %d items", len(got), len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := range all {
+		if all[i] != got[i] {
+			t.Fatalf("multiset mismatch at %d: %d vs %d", i, all[i], got[i])
+		}
+	}
+}
+
+func TestConcurrentNoDuplicateDeletes(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	const workers = 8
+	out := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			for {
+				k, _, ok := h.DeleteMin()
+				if !ok {
+					return
+				}
+				out[w] = append(out[w], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, n)
+	total := 0
+	for _, ks := range out {
+		for _, k := range ks {
+			if seen[k] {
+				t.Fatalf("key %d deleted twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("deleted %d of %d", total, n)
+	}
+}
+
+func TestQuiescentDrainSorted(t *testing.T) {
+	q := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 81)
+			for i := 0; i < 3000; i++ {
+				h.Insert(r.Uint64()%50000, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := q.Handle()
+	var prev uint64
+	first := true
+	count := 0
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		if !first && k < prev {
+			t.Fatalf("quiescent drain out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		count++
+	}
+	if count != 18000 {
+		t.Fatalf("drained %d of 18000", count)
+	}
+}
+
+func TestSlotFreezeProtocol(t *testing.T) {
+	a := newSlotArr(4)
+	if !a.append(10, 100) {
+		t.Fatal("append failed")
+	}
+	items := a.freezeAndCollect()
+	if len(items) != 1 || items[0].Key != 10 {
+		t.Fatalf("collected %v", items)
+	}
+	// Second collect sees the same membership.
+	if again := a.freezeAndCollect(); len(again) != 1 || again[0] != items[0] {
+		t.Fatalf("second collect differs: %v", again)
+	}
+	// Appends and claims after the freeze must fail.
+	if a.append(11, 110) {
+		t.Fatal("append succeeded on frozen array")
+	}
+	if a.claim(0) {
+		t.Fatal("claim succeeded on frozen slot")
+	}
+}
+
+func TestBuildSplitBoundaries(t *testing.T) {
+	items := []pq.Item{{Key: 1}, {Key: 2}, {Key: 2}, {Key: 2}, {Key: 3}, {Key: 4}}
+	repl := buildSplit(items, ^uint64(0))
+	if len(repl) != 2 {
+		t.Fatalf("%d replacement chunks", len(repl))
+	}
+	// No run of equal keys may straddle the boundary.
+	if repl[0].maxKey != 2 && repl[0].maxKey != 1 {
+		t.Fatalf("boundary %d splits a duplicate run", repl[0].maxKey)
+	}
+	// All-equal fallback.
+	eq := []pq.Item{{Key: 7}, {Key: 7}, {Key: 7}}
+	repl = buildSplit(eq, 100)
+	if len(repl) != 1 || repl[0].maxKey != 100 {
+		t.Fatalf("all-equal split: %d chunks, maxKey %d", len(repl), repl[0].maxKey)
+	}
+}
+
+func TestBuildSplitTilingProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint16, maxRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		items := make([]pq.Item, len(raw))
+		var maxItem uint64
+		for i, k := range raw {
+			items[i] = pq.Item{Key: uint64(k), Value: uint64(i)}
+			if uint64(k) > maxItem {
+				maxItem = uint64(k)
+			}
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i].Key < items[j].Key })
+		regionMax := maxItem + uint64(maxRaw) + 1
+		repl := buildSplit(items, regionMax)
+		// Tiling: bounds ascending, last equals regionMax, every item within
+		// its chunk's half-open range, no duplicate-key run split.
+		if repl[len(repl)-1].maxKey != regionMax {
+			return false
+		}
+		var lower uint64
+		count := 0
+		for ci, c := range repl {
+			if ci > 0 && c.maxKey <= lower {
+				return false
+			}
+			n := c.arr.next.Load()
+			for j := int64(0); j < n && j < int64(len(c.arr.keys)); j++ {
+				k := c.arr.keys[j]
+				if k > c.maxKey || (ci > 0 && k <= lower) {
+					return false
+				}
+				count++
+			}
+			lower = c.maxKey
+		}
+		return count == len(items)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitHeadTilingProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint16) bool {
+		items := make([]pq.Item, len(raw))
+		for i, k := range raw {
+			items[i] = pq.Item{Key: uint64(k), Value: uint64(i)}
+		}
+		sort.Slice(items, func(i, j int) bool { return items[i].Key < items[j].Key })
+		const regionMax = ^uint64(0)
+		head, tail := splitHead(items, regionMax)
+		// Head holds a prefix; tail chunks tile (head.maxKey, regionMax].
+		total := len(head.sorted)
+		lower := head.maxKey
+		for _, it := range head.sorted {
+			if it.Key > head.maxKey {
+				return false
+			}
+		}
+		for _, c := range tail {
+			if c.maxKey <= lower {
+				return false
+			}
+			n := c.arr.next.Load()
+			for j := int64(0); j < n && j < int64(len(c.arr.keys)); j++ {
+				k := c.arr.keys[j]
+				if k <= lower || k > c.maxKey {
+					return false
+				}
+				total++
+			}
+			lower = c.maxKey
+		}
+		if len(tail) > 0 && tail[len(tail)-1].maxKey != regionMax {
+			return false
+		}
+		if len(tail) == 0 && head.maxKey != regionMax {
+			return false
+		}
+		return total == len(items)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

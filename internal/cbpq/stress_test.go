@@ -1,0 +1,103 @@
+package cbpq
+
+import (
+	"sync"
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func TestRebuildStorm(t *testing.T) {
+	// Many workers hammer the head with small keys: the insert buffer
+	// fills constantly, forcing concurrent rebuilds racing with deletes.
+	q := New()
+	const workers = 8
+	const perWorker = 5000
+	var deleted sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 1)
+			for i := 0; i < perWorker; i++ {
+				// Keys in a tiny range: everything routes through the head
+				// buffer, maximizing rebuild pressure.
+				k := uint64(w*perWorker+i)<<8 | r.Uintn(4) // unique, head-dense
+				h.Insert(k, k)
+				if k2, _, ok := h.DeleteMin(); ok {
+					if _, dup := deleted.LoadOrStore(k2, true); dup {
+						panic("duplicate delete under rebuild storm")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := q.Handle()
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		if _, dup := deleted.LoadOrStore(k, true); dup {
+			t.Fatalf("duplicate delete of %d during drain", k)
+		}
+	}
+	count := 0
+	deleted.Range(func(any, any) bool { count++; return true })
+	if count != workers*perWorker {
+		t.Fatalf("recovered %d of %d items", count, workers*perWorker)
+	}
+}
+
+func TestHelpPathOnFrozenChunk(t *testing.T) {
+	// Drive a chunk to freeze, then verify late operations help complete
+	// the transition instead of stalling: exercised implicitly by the
+	// storm test, and explicitly here at small scale.
+	q := New()
+	h := q.Handle()
+	for k := uint64(0); k < 3*chunkCap; k++ {
+		h.Insert(k, k) // forces rebuild + splits
+	}
+	d := q.root.Load()
+	if len(d.chunks) < 2 {
+		t.Fatalf("expected split chunks, have %d", len(d.chunks))
+	}
+	// Freeze a tail chunk manually and let an insert help.
+	c := d.chunks[len(d.chunks)-1]
+	c.frozen.Store(true)
+	h.Insert(c.maxKey-1, 0) // routes to the frozen chunk; must help + retry
+	total := q.Len()
+	if total != 3*chunkCap+1 {
+		t.Fatalf("Len = %d, want %d", total, 3*chunkCap+1)
+	}
+}
+
+func TestEmptyAfterConcurrentDrainStaysUsable(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	for round := 0; round < 5; round++ {
+		for k := uint64(0); k < 1000; k++ {
+			h.Insert(k, k)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := q.Handle()
+				for {
+					if _, _, ok := h.DeleteMin(); !ok {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if _, _, ok := h.DeleteMin(); ok {
+			t.Fatalf("round %d: queue not empty after drain", round)
+		}
+	}
+}

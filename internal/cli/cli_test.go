@@ -1,0 +1,193 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"cpq/internal/keys"
+	"cpq/internal/workload"
+)
+
+func TestFiguresComplete(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 11 {
+		t.Fatalf("%d figure cells, want 11 (4a-4h + 8a-8c)", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure id %q", f.ID)
+		}
+		seen[f.ID] = true
+	}
+	// The brief announcement's three figures must be present via aliases.
+	for _, id := range []string{"1", "2", "3"} {
+		if _, err := FigureByID(id); err != nil {
+			t.Fatalf("FigureByID(%q): %v", id, err)
+		}
+	}
+}
+
+func TestFigureAliases(t *testing.T) {
+	f1, _ := FigureByID("1")
+	f4a, _ := FigureByID("4a")
+	if f1 != f4a {
+		t.Fatal("figure 1 != 4a")
+	}
+	f2, _ := FigureByID("2")
+	if f2.Workload != workload.Split || f2.KeyDist != keys.Ascending {
+		t.Fatalf("figure 2 = %+v", f2)
+	}
+	f3, _ := FigureByID("3")
+	if f3.KeyDist != keys.Uniform8 {
+		t.Fatalf("figure 3 = %+v", f3)
+	}
+	// Machine-specific figure numbers alias the mars panels.
+	for _, pair := range [][2]string{{"5a", "4a"}, {"6c", "4c"}, {"7h", "4h"}, {"9b", "8b"}} {
+		a, err1 := FigureByID(pair[0])
+		b, err2 := FigureByID(pair[1])
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("alias %s != %s (%v, %v)", pair[0], pair[1], err1, err2)
+		}
+	}
+	if _, err := FigureByID("4z"); err == nil {
+		t.Fatal("bogus figure accepted")
+	}
+	if _, err := FigureByID(""); err == nil {
+		t.Fatal("empty figure accepted")
+	}
+}
+
+func TestParseThreads(t *testing.T) {
+	ts, err := ParseThreads("1, 2,8")
+	if err != nil || len(ts) != 3 || ts[0] != 1 || ts[2] != 8 {
+		t.Fatalf("ParseThreads = %v, %v", ts, err)
+	}
+	if _, err := ParseThreads("0"); err == nil {
+		t.Fatal("zero thread count accepted")
+	}
+	if _, err := ParseThreads("a,b"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseThreads(" , "); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got := ParseList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("ParseList = %v", got)
+	}
+	if got := ParseList(""); got != nil {
+		t.Fatalf("ParseList(\"\") = %v", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var tb Table
+	tb.AddRow("name", "v")
+	tb.AddRow("longername", "10")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("misaligned rows:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "longername") {
+		t.Fatalf("first column not left-aligned:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var tb Table
+	if tb.String() != "" || tb.Markdown() != "" {
+		t.Fatal("empty table rendered non-empty")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	var tb Table
+	tb.AddRow("h1", "h2")
+	tb.AddRow("a", "b")
+	md := tb.Markdown()
+	want := "| h1 | h2 |\n|---|---|\n| a | b |\n"
+	if md != want {
+		t.Fatalf("markdown = %q, want %q", md, want)
+	}
+}
+
+func TestTableByID(t *testing.T) {
+	t1, err := TableByID("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2a, _ := TableByID("2a")
+	if t1 != t2a {
+		t.Fatal("table 1 != 2a")
+	}
+	f4e, _ := FigureByID("4e")
+	t2e, err := TableByID("2e")
+	if err != nil || t2e != f4e {
+		t.Fatalf("table 2e != figure 4e (%v)", err)
+	}
+	f8b, _ := FigureByID("8b")
+	t5b, err := TableByID("5b")
+	if err != nil || t5b != f8b {
+		t.Fatalf("table 5b != figure 8b (%v)", err)
+	}
+	for _, pair := range [][2]string{{"3c", "2c"}, {"4h", "2h"}} {
+		a, err1 := TableByID(pair[0])
+		b, err2 := TableByID(pair[1])
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("table alias %s != %s", pair[0], pair[1])
+		}
+	}
+	if _, err := TableByID("6a"); err == nil {
+		t.Fatal("bogus table accepted")
+	}
+	if _, err := TableByID(""); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestMachines(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 4 {
+		t.Fatalf("%d machines, want 4", len(ms))
+	}
+	for _, m := range ms {
+		if len(m.Threads) == 0 || m.Threads[0] != 1 {
+			t.Fatalf("machine %s sweep must start at 1 thread: %v", m.Name, m.Threads)
+		}
+		for i := 1; i < len(m.Threads); i++ {
+			if m.Threads[i] <= m.Threads[i-1] {
+				t.Fatalf("machine %s sweep not increasing: %v", m.Name, m.Threads)
+			}
+		}
+	}
+	mars, ok := MachineByName(" MARS ")
+	if !ok || mars.Name != "mars" {
+		t.Fatal("case-insensitive machine lookup failed")
+	}
+	if mars.Threads[len(mars.Threads)-1] != 16 {
+		t.Fatalf("mars tops out at %d, want 16 (2-way HT over 8 cores)", mars.Threads[len(mars.Threads)-1])
+	}
+	if _, ok := MachineByName("jupiter"); ok {
+		t.Fatal("unknown machine resolved")
+	}
+}
+
+func TestTableCell(t *testing.T) {
+	var tb Table
+	tb.AddRow("h1", "h2")
+	tb.AddRow("a", "b")
+	if tb.Cell(1, 1) != "b" || tb.Cell(0, 0) != "h1" {
+		t.Fatal("Cell lookup wrong")
+	}
+	if tb.Cell(5, 0) != "" || tb.Cell(0, 9) != "" || tb.Cell(-1, 0) != "" {
+		t.Fatal("out-of-range Cell not empty")
+	}
+}

@@ -1,0 +1,212 @@
+package cli
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders series of y-values over shared x-values as an ASCII line
+// chart, the terminal equivalent of the paper's throughput figures
+// (threads on the x-axis, MOps/s on the y-axis). Series are drawn with
+// distinct glyphs and listed in a legend.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area width in columns (default 60)
+	Height int // plot area height in rows (default 16)
+
+	xs     []float64
+	names  []string
+	series map[string][]float64
+}
+
+// NewPlot creates a plot over the given x coordinates.
+func NewPlot(title string, xs []int) *Plot {
+	fx := make([]float64, len(xs))
+	for i, x := range xs {
+		fx[i] = float64(x)
+	}
+	return &Plot{Title: title, Width: 60, Height: 16, xs: fx, series: map[string][]float64{}}
+}
+
+// AddSeries registers one named line; ys must align with the x coordinates.
+func (p *Plot) AddSeries(name string, ys []float64) {
+	if _, dup := p.series[name]; !dup {
+		p.names = append(p.names, name)
+	}
+	p.series[name] = append([]float64(nil), ys...)
+}
+
+// glyphs mark the data points of successive series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// String renders the chart.
+func (p *Plot) String() string {
+	if len(p.xs) == 0 || len(p.names) == 0 {
+		return ""
+	}
+	w, h := p.Width, p.Height
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	// Ranges.
+	xmin, xmax := p.xs[0], p.xs[0]
+	for _, x := range p.xs {
+		xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, ys := range p.series {
+		for _, y := range ys {
+			if !math.IsNaN(y) {
+				ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			}
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return ""
+	}
+	if ymin > 0 {
+		ymin = 0 // throughput plots anchor at zero, like the paper's
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		return clamp(c, 0, w-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - ymin) / (ymax - ymin) * float64(h-1)))
+		return clamp(h-1-r, 0, h-1)
+	}
+
+	// Draw series: line segments between consecutive points, glyph on the
+	// data points (drawn last so points win over line characters).
+	for si, name := range p.names {
+		ys := p.series[name]
+		g := glyphs[si%len(glyphs)]
+		for i := 1; i < len(ys) && i < len(p.xs); i++ {
+			if math.IsNaN(ys[i-1]) || math.IsNaN(ys[i]) {
+				continue
+			}
+			drawLine(grid, col(p.xs[i-1]), row(ys[i-1]), col(p.xs[i]), row(ys[i]))
+		}
+		for i := 0; i < len(ys) && i < len(p.xs); i++ {
+			if math.IsNaN(ys[i]) {
+				continue
+			}
+			grid[row(ys[i])][col(p.xs[i])] = g
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yTop := fmt.Sprintf("%.3g", ymax)
+	yBot := fmt.Sprintf("%.3g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	// X tick labels at the data columns.
+	ticks := []byte(strings.Repeat(" ", w))
+	for _, x := range p.xs {
+		s := fmt.Sprintf("%g", x)
+		c := col(x)
+		if c+len(s) > w {
+			c = w - len(s)
+		}
+		copy(ticks[c:], s)
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", margin), string(ticks))
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", margin), p.XLabel, p.YLabel)
+	}
+	// Legend.
+	var legend []string
+	for si, name := range p.names {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], name))
+	}
+	fmt.Fprintf(&b, "  %s\n", strings.Join(legend, "   "))
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// drawLine draws a light line between two grid cells (Bresenham), only
+// filling empty cells so data-point glyphs stay visible.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' {
+			ch := byte('.')
+			if dy == 0 {
+				ch = '-'
+			} else if dx == 0 {
+				ch = '|'
+			}
+			grid[y0][x0] = ch
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("t", nil)
+	if p.String() != "" {
+		t.Fatal("empty plot rendered output")
+	}
+	p2 := NewPlot("t", []int{1, 2})
+	if p2.String() != "" {
+		t.Fatal("plot without series rendered output")
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	p := NewPlot("Figure 4a", []int{1, 2, 4, 8})
+	p.XLabel, p.YLabel = "threads", "MOps/s"
+	p.AddSeries("klsm", []float64{1, 2, 4, 8})
+	p.AddSeries("linden", []float64{1, 1, 1, 1})
+	out := p.String()
+	if !strings.Contains(out, "Figure 4a") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* klsm") || !strings.Contains(out, "o linden") {
+		t.Fatalf("missing legend entries:\n%s", out)
+	}
+	if !strings.Contains(out, "x: threads, y: MOps/s") {
+		t.Fatal("missing axis labels")
+	}
+	// Data glyphs present.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing data glyphs")
+	}
+	// Rising series: the '*' of the last point must be on a higher row
+	// than the first point's.
+	lines := strings.Split(out, "\n")
+	firstStar, lastStar := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "*") {
+			if firstStar < 0 {
+				firstStar = i
+			}
+			lastStar = i
+		}
+	}
+	if firstStar == lastStar {
+		t.Fatalf("rising series drawn flat:\n%s", out)
+	}
+}
+
+func TestPlotHandlesNaN(t *testing.T) {
+	p := NewPlot("gaps", []int{1, 2, 3})
+	p.AddSeries("partial", []float64{1, math.NaN(), 3})
+	out := p.String()
+	if out == "" {
+		t.Fatal("plot with NaN gap rendered empty")
+	}
+}
+
+func TestPlotAllNaN(t *testing.T) {
+	p := NewPlot("none", []int{1, 2})
+	p.AddSeries("empty", []float64{math.NaN(), math.NaN()})
+	if p.String() != "" {
+		t.Fatal("all-NaN plot rendered output")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := NewPlot("flat", []int{1})
+	p.AddSeries("one", []float64{5})
+	if p.String() == "" {
+		t.Fatal("single-point plot rendered empty")
+	}
+	z := NewPlot("zero", []int{1, 2})
+	z.AddSeries("zeros", []float64{0, 0})
+	if z.String() == "" {
+		t.Fatal("zero plot rendered empty")
+	}
+}
+
+func TestPlotAxisAnchoredAtZero(t *testing.T) {
+	p := NewPlot("anchor", []int{1, 2})
+	p.AddSeries("s", []float64{5, 10})
+	out := p.String()
+	if !strings.Contains(out, " 0 +") && !strings.Contains(out, "0 |") {
+		t.Fatalf("y axis not anchored at 0:\n%s", out)
+	}
+}

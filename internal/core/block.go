@@ -1,0 +1,85 @@
+package core
+
+import "math/bits"
+
+// A block is a sorted (ascending by key) array of item pointers — the LSM's
+// building brick. Blocks are written once and then only read; logical state
+// changes happen through the items' taken flags. The capacity class of a
+// block with n items is the exponent c of the smallest power of two with
+// 2^c >= n, matching the paper's "blocks have capacities C = 2^i ... a block
+// with capacity C must contain more than C/2 and at most C items": a freshly
+// merged block always satisfies 2^(c-1) < n <= 2^c.
+type block struct {
+	items []*item
+}
+
+// classOf returns the capacity class for n items (n >= 1).
+func classOf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// class returns the block's capacity class.
+func (b *block) class() int { return classOf(len(b.items)) }
+
+// singleton returns a block holding exactly one item.
+func singleton(it *item) *block { return &block{items: []*item{it}} }
+
+// mergeBlocks merges two sorted blocks into a fresh sorted block, dropping
+// items that are already taken — merges are the LSM's garbage collection.
+// The result may be empty.
+func mergeBlocks(a, b *block) *block {
+	out := make([]*item, 0, len(a.items)+len(b.items))
+	i, j := 0, 0
+	for i < len(a.items) && j < len(b.items) {
+		var next *item
+		if a.items[i].key <= b.items[j].key {
+			next = a.items[i]
+			i++
+		} else {
+			next = b.items[j]
+			j++
+		}
+		if !next.isTaken() {
+			out = append(out, next)
+		}
+	}
+	for ; i < len(a.items); i++ {
+		if !a.items[i].isTaken() {
+			out = append(out, a.items[i])
+		}
+	}
+	for ; j < len(b.items); j++ {
+		if !b.items[j].isTaken() {
+			out = append(out, b.items[j])
+		}
+	}
+	return &block{items: out}
+}
+
+// compact returns a copy of b without taken items, or b itself if nothing
+// was dropped starting at from (a cheap prefix check happens at call sites).
+func (b *block) compact() *block {
+	live := make([]*item, 0, len(b.items))
+	for _, it := range b.items {
+		if !it.isTaken() {
+			live = append(live, it)
+		}
+	}
+	if len(live) == len(b.items) {
+		return b
+	}
+	return &block{items: live}
+}
+
+// sortedInvariant reports whether the block is sorted ascending (tests).
+func (b *block) sortedInvariant() bool {
+	for i := 1; i < len(b.items); i++ {
+		if b.items[i-1].key > b.items[i].key {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func itemsOf(keys ...uint64) []*item {
+	out := make([]*item, len(keys))
+	for i, k := range keys {
+		out[i] = &item{key: k, value: k * 10}
+	}
+	return out
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := classOf(c.n); got != c.want {
+			t.Fatalf("classOf(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Invariant: 2^(class-1) < n <= 2^class for n > 1.
+	for n := 2; n < 10000; n++ {
+		c := classOf(n)
+		if !(1<<(c-1) < n && n <= 1<<c) {
+			t.Fatalf("classOf(%d) = %d violates capacity invariant", n, c)
+		}
+	}
+}
+
+func TestMergeBlocksSorted(t *testing.T) {
+	a := &block{items: itemsOf(1, 3, 5, 7)}
+	b := &block{items: itemsOf(2, 3, 6)}
+	m := mergeBlocks(a, b)
+	if !m.sortedInvariant() {
+		t.Fatal("merge result not sorted")
+	}
+	if len(m.items) != 7 {
+		t.Fatalf("merged %d items, want 7", len(m.items))
+	}
+}
+
+func TestMergeBlocksDropsTaken(t *testing.T) {
+	a := &block{items: itemsOf(1, 3, 5)}
+	b := &block{items: itemsOf(2, 4, 6)}
+	a.items[1].take()
+	b.items[2].take()
+	m := mergeBlocks(a, b)
+	if len(m.items) != 4 {
+		t.Fatalf("merged %d items, want 4", len(m.items))
+	}
+	for _, it := range m.items {
+		if it.isTaken() {
+			t.Fatal("taken item survived merge")
+		}
+	}
+}
+
+func TestMergeBlocksEmptyInputs(t *testing.T) {
+	empty := &block{}
+	a := &block{items: itemsOf(1, 2)}
+	if m := mergeBlocks(empty, a); len(m.items) != 2 {
+		t.Fatal("merge with empty lost items")
+	}
+	if m := mergeBlocks(empty, empty); len(m.items) != 0 {
+		t.Fatal("merge of empties not empty")
+	}
+}
+
+func TestMergeBlocksProperty(t *testing.T) {
+	if err := quick.Check(func(ka, kb []uint16, takenMask uint32) bool {
+		sortU16 := func(xs []uint16) {
+			sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		}
+		sortU16(ka)
+		sortU16(kb)
+		a := &block{items: make([]*item, len(ka))}
+		for i, k := range ka {
+			a.items[i] = &item{key: uint64(k)}
+			if takenMask>>(uint(i)%32)&1 == 1 {
+				a.items[i].take()
+			}
+		}
+		b := &block{items: make([]*item, len(kb))}
+		for i, k := range kb {
+			b.items[i] = &item{key: uint64(k)}
+		}
+		m := mergeBlocks(a, b)
+		if !m.sortedInvariant() {
+			return false
+		}
+		wantLive := len(kb)
+		for _, it := range a.items {
+			if !it.isTaken() {
+				wantLive++
+			}
+		}
+		return len(m.items) == wantLive
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	b := &block{items: itemsOf(1, 2, 3, 4)}
+	if c := b.compact(); c != b {
+		t.Fatal("compact of all-live block should return the same block")
+	}
+	b.items[0].take()
+	b.items[2].take()
+	c := b.compact()
+	if len(c.items) != 2 || c.items[0].key != 2 || c.items[1].key != 4 {
+		t.Fatalf("compact wrong: %v", c.items)
+	}
+}
+
+func TestItemTakeOnce(t *testing.T) {
+	it := &item{key: 1}
+	if !it.take() {
+		t.Fatal("first take failed")
+	}
+	if it.take() {
+		t.Fatal("second take succeeded")
+	}
+	if !it.isTaken() {
+		t.Fatal("item not marked taken")
+	}
+}

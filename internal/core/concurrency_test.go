@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func TestEvictionBoundary(t *testing.T) {
+	// Exactly k items never evict; k+1 must push a block into the SLSM.
+	const k = 64
+	q := NewKLSM(k)
+	h := q.Handle().(*Handle)
+	for i := uint64(0); i < k; i++ {
+		h.Insert(i, i)
+	}
+	if q.slsm.approxSize() != 0 {
+		t.Fatalf("SLSM grew to %d before the local cap was exceeded", q.slsm.approxSize())
+	}
+	h.Insert(k, k)
+	if q.slsm.approxSize() == 0 {
+		t.Fatal("no eviction after exceeding the local cap")
+	}
+}
+
+func TestMultipleThievesShareOneVictim(t *testing.T) {
+	// One producer with local items only; many thieves must collectively
+	// recover every item exactly once through spying.
+	q := NewKLSM(1 << 20) // never evicts: all items stay DLSM-local
+	producer := q.Handle()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		producer.Insert(i, i)
+	}
+	const thieves = 6
+	results := make([][]uint64, thieves)
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := q.Handle()
+			for {
+				k, _, ok := h.DeleteMin()
+				if !ok {
+					return
+				}
+				results[i] = append(results[i], k)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := make([]bool, n)
+	total := 0
+	for _, ks := range results {
+		for _, k := range ks {
+			if seen[k] {
+				t.Fatalf("item %d stolen twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("thieves recovered %d of %d items", total, n)
+	}
+}
+
+func TestSLSMConcurrentPivotRecompute(t *testing.T) {
+	// Hammer the SLSM's delete path so pivot ranges exhaust and republish
+	// under contention; every item must still come out exactly once.
+	const k = 16 // small k: frequent pivot exhaustion
+	s := newSLSM(k)
+	const n = 20000
+	items := make([]*item, n)
+	for i := range items {
+		items[i] = &item{key: uint64(i), value: uint64(i)}
+	}
+	// Insert in sorted batches of 50.
+	for i := 0; i < n; i += 50 {
+		s.insertBatch(items[i : i+50])
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	counts := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w) + 1)
+			for {
+				it, ok := s.deleteMin(r)
+				if !ok {
+					return
+				}
+				counts[w] = append(counts[w], it.key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, n)
+	total := 0
+	for _, ks := range counts {
+		for _, k := range ks {
+			if seen[k] {
+				t.Fatalf("item %d deleted twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("recovered %d of %d", total, n)
+	}
+}
+
+func TestSLSMRelaxationUnderConcurrentDeleters(t *testing.T) {
+	// With P concurrent deleters, any single linearized deletion still
+	// skips at most k items plus what the other in-flight deleters hold:
+	// the i-th completed deletion must return a key < i + k + P.
+	const k = 32
+	const workers = 4
+	s := newSLSM(k)
+	const n = 8000
+	items := make([]*item, n)
+	for i := range items {
+		items[i] = &item{key: uint64(i)}
+	}
+	for i := 0; i < n; i += 100 {
+		s.insertBatch(items[i : i+100])
+	}
+	var mu sync.Mutex
+	order := make([]uint64, 0, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w) + 5)
+			for {
+				it, ok := s.deleteMin(r)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				order = append(order, it.key)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(order) != n {
+		t.Fatalf("recovered %d of %d", len(order), n)
+	}
+	for i, key := range order {
+		if key > uint64(i+k+workers) {
+			t.Fatalf("deletion %d returned %d — beyond relaxation bound %d",
+				i, key, i+k+workers)
+		}
+	}
+}
+
+func TestKLSMInsertDeleteChurnKeepsMemoryBounded(t *testing.T) {
+	// Steady-state churn: size estimates must not grow without bound
+	// (merges shed taken items; pivots republish).
+	q := NewKLSM(128)
+	h := q.Handle()
+	r := rng.New(9)
+	for i := 0; i < 200000; i++ {
+		h.Insert(r.Uint64()%100000, 0)
+		h.DeleteMin()
+	}
+	if n := q.ApproxLen(); n > 50000 {
+		t.Fatalf("ApproxLen = %d after steady-state churn; garbage is accumulating", n)
+	}
+}
+
+func TestHandlesAreIndependent(t *testing.T) {
+	q := NewKLSM(8)
+	h1 := q.Handle()
+	h2 := q.Handle()
+	h1.Insert(1, 1)
+	h2.Insert(2, 2)
+	// Each handle can see both items (via local peek or spy or shared).
+	k1, _, ok1 := h1.DeleteMin()
+	k2, _, ok2 := h2.DeleteMin()
+	if !ok1 || !ok2 {
+		t.Fatal("handles failed to delete")
+	}
+	if k1 == k2 {
+		t.Fatalf("both handles deleted key %d", k1)
+	}
+}

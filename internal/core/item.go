@@ -1,0 +1,49 @@
+// Package core implements the k-LSM relaxed priority queue of Wimmer,
+// Gruber, Träff and Tsigas (PPoPP 2015) — the paper's primary contribution —
+// together with its two components, each usable as a standalone queue:
+//
+//   - the DLSM (Distributed LSM): one thread-local log-structured merge-tree
+//     per handle, embarrassingly parallel, with work stealing ("spy") when a
+//     thread's local component runs empty;
+//   - the SLSM (Shared LSM): one global LSM published through an atomic
+//     pointer, with a "pivot range" covering at most the k+1 smallest items
+//     from which delete_min picks uniformly at random.
+//
+// The k-LSM composes the two: inserts go to the local DLSM; when a thread's
+// local component exceeds k items its largest block is batch-inserted into
+// the SLSM. delete_min peeks at both components and takes the smaller
+// candidate. Deletions skip at most k(P-1) items on the local side and at
+// most k on the shared side, so the total relaxation bound is kP.
+//
+// # Substitutions relative to the C++ original
+//
+// The C++ k-LSM publishes thread-local blocks through versioned lock-free
+// block arrays so that spying threads can read them without locks. Here each
+// local component is guarded by a per-thread mutex: the owner's operations
+// take an uncontended lock (a few nanoseconds on the fast path) and spying —
+// which the paper notes is the only inter-thread communication in the DLSM —
+// locks the victim. The SLSM's lock-free block-array merging is realized as
+// functional (copy-on-write) merges published by a single CAS with
+// optimistic retry. Items carry an atomic "taken" flag shared by every
+// structure that references them, so an item handed from the DLSM to the
+// SLSM, or copied by a spying thread, can still be deleted exactly once.
+package core
+
+import "sync/atomic"
+
+// item is a key-value pair with a shared logical-deletion flag. All copies
+// of a block alias the same *item, so whoever wins the take() CAS owns the
+// deletion regardless of which component the item was reached through.
+type item struct {
+	key   uint64
+	value uint64
+	taken atomic.Bool
+}
+
+// take attempts to logically delete the item; exactly one caller ever wins.
+func (it *item) take() bool {
+	return !it.taken.Load() && it.taken.CompareAndSwap(false, true)
+}
+
+// isTaken reports whether the item has been logically deleted.
+func (it *item) isTaken() bool { return it.taken.Load() }

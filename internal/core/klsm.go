@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+)
+
+// KLSM is the k-LSM relaxed priority queue. delete_min returns one of the
+// kP smallest items, where P is the number of handles (threads) in use.
+type KLSM struct {
+	k    int
+	slsm *slsm
+	seed atomic.Uint64
+
+	mu      sync.Mutex
+	handles []*Handle
+}
+
+var _ pq.Queue = (*KLSM)(nil)
+
+// NewKLSM returns an empty k-LSM with relaxation parameter k (k >= 1). The
+// paper evaluates k ∈ {128, 256, 4096}; k=16 behaves close to a strict
+// queue.
+func NewKLSM(k int) *KLSM {
+	if k < 1 {
+		k = 1
+	}
+	return &KLSM{k: k, slsm: newSLSM(k)}
+}
+
+// K returns the relaxation parameter.
+func (q *KLSM) K() int { return q.k }
+
+// Name implements pq.Queue ("klsm128", "klsm4096", ...).
+func (q *KLSM) Name() string { return fmt.Sprintf("klsm%d", q.k) }
+
+// Handle implements pq.Queue. Each handle owns a DLSM component (a local
+// LSM capped at k items) and registers itself as a spy victim.
+func (q *KLSM) Handle() pq.Handle {
+	h := &Handle{
+		q:     q,
+		local: &localLSM{},
+		rng:   rng.New(q.seed.Add(0x9e3779b97f4a7c15)),
+	}
+	q.mu.Lock()
+	q.handles = append(q.handles, h)
+	h.spyCursor = len(q.handles)
+	q.mu.Unlock()
+	return h
+}
+
+// Handle is a per-goroutine k-LSM handle.
+type Handle struct {
+	q         *KLSM
+	local     *localLSM
+	rng       *rng.Xoroshiro
+	spyCursor int // round-robin position for victim selection
+}
+
+var _ pq.Handle = (*Handle)(nil)
+var _ pq.Peeker = (*Handle)(nil)
+
+// Insert implements pq.Handle: insert into the local DLSM; on overflow past
+// k items, evict the largest local block into the shared SLSM.
+func (h *Handle) Insert(key, value uint64) {
+	it := &item{key: key, value: value}
+	l := h.local
+	l.mu.Lock()
+	l.insertLocked(it)
+	var evicted []*item
+	if l.sizeLocked() > h.q.k {
+		evicted = l.evictLargestLocked()
+	}
+	l.mu.Unlock()
+	if len(evicted) > 0 {
+		h.q.slsm.insertBatch(evicted)
+	}
+}
+
+// DeleteMin implements pq.Handle: peek at the local component's minimum and
+// at a random item from the SLSM's pivot range, and take the smaller of the
+// two candidates. If the local component is empty, spy on another thread's
+// local items first, per the DLSM design.
+func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
+	for {
+		l := h.local
+		l.mu.Lock()
+		bi, ii, lkey, lok := l.peekMinLocked()
+		if !lok {
+			l.mu.Unlock()
+			if h.spy() {
+				continue
+			}
+			// Local side empty everywhere we looked: fall back to shared.
+			it, sok := h.q.slsm.deleteMin(h.rng)
+			if !sok {
+				return 0, 0, false
+			}
+			return it.key, it.value, true
+		}
+		// Local candidate exists; fetch a shared candidate to compare.
+		scand, sok := h.q.slsm.peekCandidate(h.rng)
+		if sok && scand.key < lkey {
+			l.mu.Unlock()
+			if scand.take() {
+				return scand.key, scand.value, true
+			}
+			continue // lost the shared item; retry from scratch
+		}
+		it, won := l.takeAtLocked(bi, ii)
+		l.mu.Unlock()
+		if won {
+			return it.key, it.value, true
+		}
+		// A spying thread took our local minimum under us; retry.
+	}
+}
+
+// spy copies the unconsumed items of another handle's local LSM into our
+// own, choosing victims round-robin. Returns true if anything was copied.
+func (h *Handle) spy() bool {
+	q := h.q
+	q.mu.Lock()
+	victims := q.handles
+	q.mu.Unlock()
+	n := len(victims)
+	if n <= 1 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		v := victims[(h.spyCursor+i)%n]
+		if v == h {
+			continue
+		}
+		v.local.mu.Lock()
+		runs := v.local.snapshotLocked()
+		v.local.mu.Unlock()
+		if len(runs) == 0 {
+			continue
+		}
+		h.spyCursor = (h.spyCursor + i + 1) % n
+		h.local.mu.Lock()
+		for _, run := range runs {
+			h.local.insertBlockLocked(run)
+		}
+		h.local.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// PeekMin reports the smaller of the local minimum and a shared candidate,
+// without removing it (approximate under concurrency).
+func (h *Handle) PeekMin() (key, value uint64, ok bool) {
+	l := h.local
+	l.mu.Lock()
+	bi, ii, lkey, lok := l.peekMinLocked()
+	var lit *item
+	if lok {
+		lit = l.blocks[bi].items[ii]
+	}
+	l.mu.Unlock()
+	scand, sok := h.q.slsm.peekCandidate(h.rng)
+	switch {
+	case lok && (!sok || lkey <= scand.key):
+		return lit.key, lit.value, true
+	case sok:
+		return scand.key, scand.value, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// ApproxLen sums local sizes and the shared component's unconsumed slots.
+// Upper bound on live items; tests and monitoring only.
+func (q *KLSM) ApproxLen() int {
+	q.mu.Lock()
+	handles := append([]*Handle(nil), q.handles...)
+	q.mu.Unlock()
+	total := q.slsm.approxSize()
+	for _, h := range handles {
+		h.local.mu.Lock()
+		total += h.local.sizeLocked()
+		h.local.mu.Unlock()
+	}
+	return total
+}
+
+// DLSM is the Distributed LSM used standalone: thread-local LSMs with spy,
+// no shared component, no relaxation bound across threads beyond locality
+// (delete_min returns the minimum of the calling thread's items).
+type DLSM struct {
+	inner *KLSM
+}
+
+var _ pq.Queue = (*DLSM)(nil)
+
+// NewDLSM returns an empty standalone DLSM.
+func NewDLSM() *DLSM {
+	// An unbounded k disables eviction to the (unused) shared component.
+	return &DLSM{inner: NewKLSM(1 << 62)}
+}
+
+// Name implements pq.Queue.
+func (q *DLSM) Name() string { return "dlsm" }
+
+// Handle implements pq.Queue.
+func (q *DLSM) Handle() pq.Handle { return q.inner.Handle() }
+
+// SLSM is the Shared LSM used standalone: a purely global relaxed queue
+// where delete_min skips at most k items.
+type SLSM struct {
+	k    int
+	s    *slsm
+	seed atomic.Uint64
+}
+
+var _ pq.Queue = (*SLSM)(nil)
+
+// NewSLSM returns an empty standalone SLSM with relaxation k.
+func NewSLSM(k int) *SLSM {
+	if k < 1 {
+		k = 1
+	}
+	return &SLSM{k: k, s: newSLSM(k)}
+}
+
+// Name implements pq.Queue.
+func (q *SLSM) Name() string { return fmt.Sprintf("slsm%d", q.k) }
+
+// Handle implements pq.Queue.
+func (q *SLSM) Handle() pq.Handle {
+	return &slsmHandle{q: q, rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15))}
+}
+
+type slsmHandle struct {
+	q   *SLSM
+	rng *rng.Xoroshiro
+}
+
+// Insert implements pq.Handle: a single-item batch insert into the SLSM.
+func (h *slsmHandle) Insert(key, value uint64) {
+	h.q.s.insertBatch([]*item{{key: key, value: value}})
+}
+
+// DeleteMin implements pq.Handle: a random pick from the pivot range.
+func (h *slsmHandle) DeleteMin() (key, value uint64, ok bool) {
+	it, ok := h.q.s.deleteMin(h.rng)
+	if !ok {
+		return 0, 0, false
+	}
+	return it.key, it.value, true
+}

@@ -1,0 +1,176 @@
+package core
+
+import "sync"
+
+// localLSM is the per-thread LSM of the DLSM component. The owning handle
+// locks mu around every operation; the lock is uncontended except when
+// another thread spies (copies items) from this LSM, which the paper notes
+// is the DLSM's only inter-thread communication.
+//
+// Unlike the shared LSM's immutable blocks, local blocks carry a mutable
+// consumed-prefix offset: the owner deletes its local minimum by advancing
+// `first` after winning the item's take() CAS.
+type localLSM struct {
+	mu sync.Mutex
+	// blocks is ordered by strictly decreasing capacity class.
+	blocks []*localBlock
+	// size is the number of item slots currently referenced (an upper bound
+	// on live items; interior taken items are discovered lazily).
+	size int
+}
+
+type localBlock struct {
+	items []*item
+	first int // items[first:] are not yet consumed by the owner
+}
+
+func (lb *localBlock) class() int { return classOf(len(lb.items) - lb.first) }
+
+// insertLocked adds one item (O(log n) amortized via merging).
+func (l *localLSM) insertLocked(it *item) {
+	l.blocks = append(l.blocks, &localBlock{items: []*item{it}})
+	l.size++
+	l.mergeTailLocked()
+}
+
+// insertBlockLocked adds a pre-sorted run of items (spy and tests).
+func (l *localLSM) insertBlockLocked(items []*item) {
+	if len(items) == 0 {
+		return
+	}
+	l.blocks = append(l.blocks, &localBlock{items: items})
+	l.size += len(items)
+	l.mergeTailLocked()
+}
+
+// mergeTailLocked restores the strictly-decreasing class invariant by
+// merging from the tail, dropping taken items as it goes.
+func (l *localLSM) mergeTailLocked() {
+	for n := len(l.blocks); n >= 2; n = len(l.blocks) {
+		a, b := l.blocks[n-2], l.blocks[n-1]
+		if a.class() > b.class() {
+			break
+		}
+		merged := mergeBlocks(
+			&block{items: a.items[a.first:]},
+			&block{items: b.items[b.first:]},
+		)
+		l.size -= (len(a.items) - a.first) + (len(b.items) - b.first)
+		l.blocks = l.blocks[:n-2]
+		if len(merged.items) > 0 {
+			l.blocks = append(l.blocks, &localBlock{items: merged.items})
+			l.size += len(merged.items)
+		}
+	}
+}
+
+// peekMinLocked returns the position and key of the smallest unconsumed,
+// untaken item. It advances consumed prefixes past taken items (items
+// spied-and-deleted by other threads) and drops exhausted blocks.
+func (l *localLSM) peekMinLocked() (bi, ii int, key uint64, ok bool) {
+	bi = -1
+	for i := 0; i < len(l.blocks); {
+		b := l.blocks[i]
+		for b.first < len(b.items) && b.items[b.first].isTaken() {
+			b.first++
+			l.size--
+		}
+		if b.first >= len(b.items) {
+			l.blocks = append(l.blocks[:i], l.blocks[i+1:]...)
+			continue
+		}
+		if front := b.items[b.first]; bi < 0 || front.key < key {
+			bi, ii, key = i, b.first, front.key
+		}
+		i++
+	}
+	if bi < 0 {
+		return 0, 0, 0, false
+	}
+	return bi, ii, key, true
+}
+
+// takeAtLocked attempts to take the item at (bi, ii) as returned by
+// peekMinLocked in the same critical section. It reports whether this
+// thread won the item.
+func (l *localLSM) takeAtLocked(bi, ii int) (*item, bool) {
+	b := l.blocks[bi]
+	it := b.items[ii]
+	if !it.take() {
+		return nil, false
+	}
+	if ii == b.first {
+		b.first++
+		l.size--
+	}
+	return it, true
+}
+
+// evictLargestLocked removes and returns the live items of the largest
+// (front) block, for batch insertion into the SLSM. Returns nil if empty.
+func (l *localLSM) evictLargestLocked() []*item {
+	if len(l.blocks) == 0 {
+		return nil
+	}
+	b := l.blocks[0]
+	l.blocks = l.blocks[1:]
+	l.size -= len(b.items) - b.first
+	live := make([]*item, 0, len(b.items)-b.first)
+	for _, it := range b.items[b.first:] {
+		if !it.isTaken() {
+			live = append(live, it)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return live
+}
+
+// snapshotLocked copies references to all live (unconsumed, untaken) items,
+// for spying. The copy is per-block so the spy can feed sorted runs into its
+// own LSM. Taken items are filtered out — otherwise a spy could loop forever
+// "stealing" items that are already logically deleted. Returns nil when the
+// victim has nothing live.
+func (l *localLSM) snapshotLocked() [][]*item {
+	if l.size == 0 {
+		return nil
+	}
+	out := make([][]*item, 0, len(l.blocks))
+	for _, b := range l.blocks {
+		// Help the victim: advance its consumed prefix past taken items.
+		for b.first < len(b.items) && b.items[b.first].isTaken() {
+			b.first++
+			l.size--
+		}
+		if b.first >= len(b.items) {
+			continue
+		}
+		run := make([]*item, 0, len(b.items)-b.first)
+		for _, it := range b.items[b.first:] {
+			if !it.isTaken() {
+				run = append(run, it)
+			}
+		}
+		if len(run) > 0 {
+			out = append(out, run)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// sizeLocked returns the referenced-slot count (upper bound on live items).
+func (l *localLSM) sizeLocked() int { return l.size }
+
+// classInvariantLocked reports whether classes strictly decrease (tests).
+func (l *localLSM) classInvariantLocked() bool {
+	for i := 1; i < len(l.blocks); i++ {
+		if l.blocks[i-1].class() <= l.blocks[i].class() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func TestLocalLSMInsertPeekTake(t *testing.T) {
+	l := &localLSM{}
+	for _, k := range []uint64{5, 1, 9, 3} {
+		l.insertLocked(&item{key: k})
+	}
+	if !l.classInvariantLocked() {
+		t.Fatal("class invariant violated after inserts")
+	}
+	want := []uint64{1, 3, 5, 9}
+	for _, w := range want {
+		bi, ii, key, ok := l.peekMinLocked()
+		if !ok || key != w {
+			t.Fatalf("peek = %d/%v, want %d", key, ok, w)
+		}
+		it, won := l.takeAtLocked(bi, ii)
+		if !won || it.key != w {
+			t.Fatalf("take = %v/%v, want %d", it, won, w)
+		}
+	}
+	if _, _, _, ok := l.peekMinLocked(); ok {
+		t.Fatal("peek on drained LSM returned ok")
+	}
+}
+
+func TestLocalLSMRandomDrainSorted(t *testing.T) {
+	l := &localLSM{}
+	r := rng.New(1)
+	const n = 5000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64() % 512
+		l.insertLocked(&item{key: keys[i]})
+		if !l.classInvariantLocked() {
+			t.Fatalf("class invariant violated at insert %d", i)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := 0; i < n; i++ {
+		bi, ii, key, ok := l.peekMinLocked()
+		if !ok || key != keys[i] {
+			t.Fatalf("drain %d = %d/%v, want %d", i, key, ok, keys[i])
+		}
+		l.takeAtLocked(bi, ii)
+	}
+}
+
+func TestLocalLSMSkipsExternallyTakenItems(t *testing.T) {
+	// Simulates a spy deleting items out from under the owner.
+	l := &localLSM{}
+	items := itemsOf(1, 2, 3, 4, 5)
+	for _, it := range items {
+		l.insertLocked(it)
+	}
+	items[0].take() // spy took the 1
+	items[1].take() // and the 2
+	_, _, key, ok := l.peekMinLocked()
+	if !ok || key != 3 {
+		t.Fatalf("peek after external takes = %d/%v, want 3", key, ok)
+	}
+}
+
+func TestLocalLSMTakeRace(t *testing.T) {
+	l := &localLSM{}
+	it := &item{key: 7}
+	l.insertLocked(it)
+	bi, ii, _, _ := l.peekMinLocked()
+	it.take() // lost to a spy between peek and take
+	if _, won := l.takeAtLocked(bi, ii); won {
+		t.Fatal("takeAt won an already-taken item")
+	}
+}
+
+func TestLocalLSMEvictLargest(t *testing.T) {
+	l := &localLSM{}
+	for k := uint64(0); k < 100; k++ {
+		l.insertLocked(&item{key: k})
+	}
+	before := l.sizeLocked()
+	evicted := l.evictLargestLocked()
+	if len(evicted) == 0 {
+		t.Fatal("nothing evicted")
+	}
+	if !sort.SliceIsSorted(evicted, func(i, j int) bool { return evicted[i].key < evicted[j].key }) {
+		t.Fatal("evicted run not sorted")
+	}
+	if l.sizeLocked() != before-len(evicted) {
+		t.Fatalf("size accounting wrong: %d -> %d after evicting %d",
+			before, l.sizeLocked(), len(evicted))
+	}
+	// Largest block must be the biggest power-of-two run: >= half the items.
+	if len(evicted) < 50 {
+		t.Fatalf("evicted only %d items; largest block expected", len(evicted))
+	}
+}
+
+func TestLocalLSMEvictEmpty(t *testing.T) {
+	l := &localLSM{}
+	if ev := l.evictLargestLocked(); ev != nil {
+		t.Fatal("evict on empty returned items")
+	}
+}
+
+func TestLocalLSMSnapshot(t *testing.T) {
+	l := &localLSM{}
+	for _, k := range []uint64{4, 2, 8, 6} {
+		l.insertLocked(&item{key: k})
+	}
+	runs := l.snapshotLocked()
+	var all []uint64
+	for _, run := range runs {
+		for i := 1; i < len(run); i++ {
+			if run[i-1].key > run[i].key {
+				t.Fatal("snapshot run not sorted")
+			}
+		}
+		for _, it := range run {
+			all = append(all, it.key)
+		}
+	}
+	if len(all) != 4 {
+		t.Fatalf("snapshot has %d items, want 4", len(all))
+	}
+	// Snapshot must not consume: peek still sees the minimum.
+	if _, _, key, ok := l.peekMinLocked(); !ok || key != 2 {
+		t.Fatalf("peek after snapshot = %d/%v", key, ok)
+	}
+	if l.snapshotLocked() == nil {
+		t.Fatal("second snapshot empty")
+	}
+	empty := &localLSM{}
+	if empty.snapshotLocked() != nil {
+		t.Fatal("snapshot of empty LSM not nil")
+	}
+}
+
+func TestLocalLSMInsertBlock(t *testing.T) {
+	l := &localLSM{}
+	l.insertBlockLocked(itemsOf(10, 20, 30))
+	l.insertBlockLocked(itemsOf(5, 15))
+	l.insertBlockLocked(nil) // no-op
+	if !l.classInvariantLocked() {
+		t.Fatal("class invariant violated")
+	}
+	want := []uint64{5, 10, 15, 20, 30}
+	for _, w := range want {
+		bi, ii, key, ok := l.peekMinLocked()
+		if !ok || key != w {
+			t.Fatalf("got %d/%v, want %d", key, ok, w)
+		}
+		l.takeAtLocked(bi, ii)
+	}
+}
+
+func TestLocalLSMMergeCompactsTaken(t *testing.T) {
+	// Fill, take most items externally, keep inserting: merges must shed
+	// the taken items so size does not grow unboundedly.
+	l := &localLSM{}
+	var all []*item
+	for k := uint64(0); k < 1024; k++ {
+		it := &item{key: k}
+		all = append(all, it)
+		l.insertLocked(it)
+	}
+	for _, it := range all[:1000] {
+		it.take()
+	}
+	// Trigger merges.
+	for k := uint64(2000); k < 3024; k++ {
+		l.insertLocked(&item{key: k})
+	}
+	if l.sizeLocked() > 1100 {
+		t.Fatalf("size %d; merges did not shed taken items", l.sizeLocked())
+	}
+}

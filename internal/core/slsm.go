@@ -1,0 +1,263 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"cpq/internal/rng"
+)
+
+// slsm is the Shared LSM: a single global LSM published through an atomic
+// pointer, plus a pivot range covering at most the k+1 smallest live items.
+// delete_min picks a uniformly random item from the pivot range, so it
+// skips at most k items — the SLSM's relaxation guarantee.
+//
+// State transitions are functional: batch inserts merge blocks into a fresh
+// state and publish it with a single CAS (optimistic retry on conflict);
+// pivot exhaustion republishes the same blocks with freshly computed pivots.
+// Item deletion itself is just the item's take() CAS and needs no state
+// change, which is what keeps the pivot range effective between rebuilds.
+type slsm struct {
+	k     int
+	state atomic.Pointer[sstate]
+}
+
+// sstate is one immutable published state of the SLSM.
+type sstate struct {
+	// blocks ordered by strictly decreasing capacity class. The slices are
+	// shared across states; the sblock first-hints advance monotonically.
+	blocks []*sblock
+	// pivots enumerates the candidate slots: at most k+1 positions holding
+	// the smallest live items at pivot-computation time.
+	pivots []pivotSlot
+}
+
+type sblock struct {
+	items []*item
+	// first is a monotonically advancing hint: all items before it are
+	// taken. Shared by every state referencing this block.
+	first atomic.Int64
+}
+
+type pivotSlot struct {
+	b   int32 // block index within state.blocks
+	idx int32 // item index within that block
+}
+
+func newSLSM(k int) *slsm {
+	s := &slsm{k: k}
+	s.state.Store(&sstate{})
+	return s
+}
+
+// advanceFirst publishes a larger taken-prefix hint (monotone max).
+func (b *sblock) advanceFirst(to int) {
+	for {
+		cur := b.first.Load()
+		if int64(to) <= cur {
+			return
+		}
+		if b.first.CompareAndSwap(cur, int64(to)) {
+			return
+		}
+	}
+}
+
+// computePivots selects up to k+1 smallest live items by a tournament over
+// the block fronts, advancing the shared first-hints past taken prefixes as
+// a side effect. O((k+1)·B + B·taken-prefix).
+func computePivots(blocks []*sblock, k int) []pivotSlot {
+	if len(blocks) == 0 {
+		return nil
+	}
+	pos := make([]int, len(blocks))
+	for i, b := range blocks {
+		p := int(b.first.Load())
+		for p < len(b.items) && b.items[p].isTaken() {
+			p++
+		}
+		b.advanceFirst(p)
+		pos[i] = p
+	}
+	capHint := k + 1
+	if capHint > 1<<16 {
+		capHint = 1 << 16 // huge k (standalone DLSM) must not pre-allocate
+	}
+	pivots := make([]pivotSlot, 0, capHint)
+	for len(pivots) < k+1 {
+		best := -1
+		var bestKey uint64
+		for i, b := range blocks {
+			if pos[i] >= len(b.items) {
+				continue
+			}
+			if key := b.items[pos[i]].key; best < 0 || key < bestKey {
+				best, bestKey = i, key
+			}
+		}
+		if best < 0 {
+			break // all blocks exhausted
+		}
+		b := blocks[best]
+		if !b.items[pos[best]].isTaken() {
+			pivots = append(pivots, pivotSlot{b: int32(best), idx: int32(pos[best])})
+		}
+		pos[best]++
+		for pos[best] < len(b.items) && b.items[pos[best]].isTaken() {
+			pos[best]++
+		}
+	}
+	return pivots
+}
+
+// insertBatch merges a sorted run of items into the SLSM (the k-LSM hands
+// over a whole evicted DLSM block at once — "batch insert").
+func (s *slsm) insertBatch(items []*item) {
+	if len(items) == 0 {
+		return
+	}
+	nb := &sblock{items: items}
+	for {
+		cur := s.state.Load()
+		blocks := lsmMergeShared(cur.blocks, nb)
+		ns := &sstate{blocks: blocks, pivots: computePivots(blocks, s.k)}
+		if s.state.CompareAndSwap(cur, ns) {
+			return
+		}
+		// Lost the publish race: redo the merge against the new state.
+		// (The C++ SLSM resolves this with helping on a shared block
+		// array; optimistic retry preserves lock-freedom system-wide —
+		// some thread always makes progress.)
+	}
+}
+
+// lsmMergeShared inserts nb into blocks (strictly decreasing classes),
+// merging equal classes. Untouched blocks are shared with previous states.
+func lsmMergeShared(blocks []*sblock, nb *sblock) []*sblock {
+	out := make([]*sblock, len(blocks), len(blocks)+1)
+	copy(out, blocks)
+	out = append(out, nb)
+	// Keep the list ordered by class: bubble the new block to its place.
+	for i := len(out) - 1; i > 0 && out[i-1].liveClass() < out[i].liveClass(); i-- {
+		out[i-1], out[i] = out[i], out[i-1]
+	}
+	// Merge adjacent equal classes from the tail.
+	for {
+		merged := false
+		for i := len(out) - 1; i > 0; i-- {
+			if out[i-1].liveClass() > out[i].liveClass() {
+				continue
+			}
+			a := &block{items: out[i-1].items[out[i-1].first.Load():]}
+			b := &block{items: out[i].items[out[i].first.Load():]}
+			m := mergeBlocks(a, b)
+			rest := append([]*sblock{}, out[:i-1]...)
+			if len(m.items) > 0 {
+				rest = append(rest, &sblock{items: m.items})
+			}
+			out = append(rest, out[i+1:]...)
+			merged = true
+			break
+		}
+		if !merged {
+			return out
+		}
+	}
+}
+
+// liveClass is the capacity class of the unconsumed suffix.
+func (b *sblock) liveClass() int { return classOf(len(b.items) - int(b.first.Load())) }
+
+// deleteMin removes a uniformly random item from the pivot range.
+func (s *slsm) deleteMin(r *rng.Xoroshiro) (*item, bool) {
+	for {
+		st := s.state.Load()
+		if it, ok := st.takeRandom(r); ok {
+			return it, true
+		}
+		// Pivot range exhausted: recompute. If the recompute finds nothing
+		// and the blocks are fully consumed, the SLSM is empty.
+		pivots := computePivots(st.blocks, s.k)
+		if len(pivots) == 0 {
+			if st.exhausted() {
+				return nil, false
+			}
+			continue
+		}
+		ns := &sstate{blocks: st.blocks, pivots: pivots}
+		s.state.CompareAndSwap(st, ns)
+		// On CAS failure another thread published (insert or republish);
+		// loop and use whatever is current.
+	}
+}
+
+// peekCandidate returns a random live pivot item without taking it. The
+// k-LSM composition compares this candidate with the DLSM's local minimum.
+// Like deleteMin, it republishes a fresh pivot range when the current one is
+// fully consumed — otherwise the k-LSM would ignore a non-empty shared
+// component and return arbitrarily bad local minima, breaking the kP bound.
+func (s *slsm) peekCandidate(r *rng.Xoroshiro) (*item, bool) {
+	for {
+		st := s.state.Load()
+		if n := len(st.pivots); n > 0 {
+			start := int(r.Uintn(uint64(n)))
+			for i := 0; i < n; i++ {
+				slot := st.pivots[(start+i)%n]
+				it := st.blocks[slot.b].items[slot.idx]
+				if !it.isTaken() {
+					return it, true
+				}
+			}
+		}
+		pivots := computePivots(st.blocks, s.k)
+		if len(pivots) == 0 {
+			if st.exhausted() {
+				return nil, false
+			}
+			continue
+		}
+		s.state.CompareAndSwap(st, &sstate{blocks: st.blocks, pivots: pivots})
+	}
+}
+
+// takeRandom picks a uniformly random pivot slot and takes the first live
+// item scanning cyclically from it.
+func (st *sstate) takeRandom(r *rng.Xoroshiro) (*item, bool) {
+	n := len(st.pivots)
+	if n == 0 {
+		return nil, false
+	}
+	start := int(r.Uintn(uint64(n)))
+	for i := 0; i < n; i++ {
+		slot := st.pivots[(start+i)%n]
+		it := st.blocks[slot.b].items[slot.idx]
+		if it.take() {
+			return it, true
+		}
+	}
+	return nil, false
+}
+
+// exhausted reports whether every block is fully consumed.
+func (st *sstate) exhausted() bool {
+	for _, b := range st.blocks {
+		p := int(b.first.Load())
+		for p < len(b.items) {
+			if !b.items[p].isTaken() {
+				return false
+			}
+			p++
+		}
+		b.advanceFirst(p)
+	}
+	return true
+}
+
+// approxSize sums unconsumed slots (upper bound on live items; tests).
+func (s *slsm) approxSize() int {
+	st := s.state.Load()
+	total := 0
+	for _, b := range st.blocks {
+		total += len(b.items) - int(b.first.Load())
+	}
+	return total
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func slsmInsertKeys(s *slsm, keys ...uint64) {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	items := make([]*item, len(sorted))
+	for i, k := range sorted {
+		items[i] = &item{key: k, value: k}
+	}
+	s.insertBatch(items)
+}
+
+func TestSLSMEmpty(t *testing.T) {
+	s := newSLSM(4)
+	r := rng.New(1)
+	if _, ok := s.deleteMin(r); ok {
+		t.Fatal("deleteMin on empty returned ok")
+	}
+	if _, ok := s.peekCandidate(r); ok {
+		t.Fatal("peekCandidate on empty returned ok")
+	}
+	s.insertBatch(nil) // no-op
+	if s.approxSize() != 0 {
+		t.Fatal("size after nil batch")
+	}
+}
+
+func TestSLSMDrainWithinRelaxation(t *testing.T) {
+	const k = 8
+	s := newSLSM(k)
+	r := rng.New(2)
+	const n = 2000
+	for i := 0; i < n/100; i++ {
+		keys := make([]uint64, 100)
+		for j := range keys {
+			keys[j] = uint64(i*100 + j)
+		}
+		slsmInsertKeys(s, keys...)
+	}
+	// Sequential drain: the i-th deletion must return a key within k of the
+	// i-th smallest remaining — i.e. key < i + k + 1.
+	for i := 0; i < n; i++ {
+		it, ok := s.deleteMin(r)
+		if !ok {
+			t.Fatalf("empty at %d", i)
+		}
+		if it.key > uint64(i+k) {
+			t.Fatalf("deletion %d returned key %d — exceeds relaxation bound %d",
+				i, it.key, i+k)
+		}
+	}
+	if _, ok := s.deleteMin(r); ok {
+		t.Fatal("not empty after full drain")
+	}
+}
+
+func TestSLSMPivotsAreSmallestItems(t *testing.T) {
+	s := newSLSM(4)
+	slsmInsertKeys(s, 50, 10, 30, 20, 40, 60, 70)
+	st := s.state.Load()
+	if len(st.pivots) != 5 { // k+1
+		t.Fatalf("%d pivots, want 5", len(st.pivots))
+	}
+	var keys []uint64
+	for _, p := range st.pivots {
+		keys = append(keys, st.blocks[p.b].items[p.idx].key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	want := []uint64{10, 20, 30, 40, 50}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("pivot keys %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestSLSMClassInvariant(t *testing.T) {
+	s := newSLSM(16)
+	r := rng.New(3)
+	for i := 0; i < 50; i++ {
+		n := int(r.Uintn(20)) + 1
+		keys := make([]uint64, n)
+		for j := range keys {
+			keys[j] = r.Uint64() % 1000
+		}
+		slsmInsertKeys(s, keys...)
+		st := s.state.Load()
+		for b := 1; b < len(st.blocks); b++ {
+			if st.blocks[b-1].liveClass() <= st.blocks[b].liveClass() {
+				t.Fatalf("batch %d: classes not strictly decreasing", i)
+			}
+		}
+		for _, b := range st.blocks {
+			blk := &block{items: b.items}
+			if !blk.sortedInvariant() {
+				t.Fatalf("batch %d: unsorted block", i)
+			}
+		}
+	}
+}
+
+func TestSLSMFirstHintMonotone(t *testing.T) {
+	b := &sblock{items: itemsOf(1, 2, 3)}
+	b.advanceFirst(2)
+	if b.first.Load() != 2 {
+		t.Fatal("advanceFirst did not advance")
+	}
+	b.advanceFirst(1)
+	if b.first.Load() != 2 {
+		t.Fatal("advanceFirst went backwards")
+	}
+}
+
+func TestSLSMConcurrentMixed(t *testing.T) {
+	const k = 64
+	s := newSLSM(k)
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	inserted := map[uint64]int{}
+	deleted := map[uint64]int{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w) + 17)
+			batch := make([]uint64, 0, 16)
+			for i := 0; i < perWorker; i++ {
+				batch = append(batch, r.Uint64()%100000)
+				if len(batch) == 16 {
+					slsmInsertKeys(s, batch...)
+					mu.Lock()
+					for _, k := range batch {
+						inserted[k]++
+					}
+					mu.Unlock()
+					batch = batch[:0]
+				}
+				if i%2 == 1 {
+					if it, ok := s.deleteMin(r); ok {
+						mu.Lock()
+						deleted[it.key]++
+						mu.Unlock()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain the rest single-threaded.
+	r := rng.New(999)
+	for {
+		it, ok := s.deleteMin(r)
+		if !ok {
+			break
+		}
+		deleted[it.key]++
+	}
+	for k, n := range inserted {
+		if deleted[k] != n {
+			t.Fatalf("key %d inserted %d, deleted %d", k, n, deleted[k])
+		}
+	}
+	for k, n := range deleted {
+		if inserted[k] != n {
+			t.Fatalf("key %d deleted %d but inserted %d", k, n, inserted[k])
+		}
+	}
+}
+
+func TestStandaloneSLSMQueue(t *testing.T) {
+	q := NewSLSM(4)
+	if q.Name() != "slsm4" {
+		t.Fatalf("name = %q", q.Name())
+	}
+	h := q.Handle()
+	for _, k := range []uint64{9, 1, 5} {
+		h.Insert(k, k*2)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 3; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || v != k*2 {
+			t.Fatalf("delete %d = %d/%d/%v", i, k, v, ok)
+		}
+		seen[k] = true
+	}
+	if !seen[1] || !seen[5] || !seen[9] {
+		t.Fatalf("wrong keys: %v", seen)
+	}
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("not empty")
+	}
+	if NewSLSM(0).k != 1 {
+		t.Fatal("k floor not applied")
+	}
+}

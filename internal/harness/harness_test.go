@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"cpq/internal/keys"
+	"cpq/internal/pq"
+	"cpq/internal/seqheap"
+	"cpq/internal/workload"
+)
+
+func glFactory(threads int) pq.Queue { return seqheap.NewGlobalLock() }
+
+func quickCfg(threads int) Config {
+	return Config{
+		NewQueue: glFactory,
+		Threads:  threads,
+		Duration: 30 * time.Millisecond,
+		Workload: workload.Uniform,
+		KeyDist:  keys.Uniform32,
+		Prefill:  1000,
+		Seed:     42,
+	}
+}
+
+func TestRunProducesOps(t *testing.T) {
+	res := Run(quickCfg(2))
+	if res.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if res.MOps() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	if len(res.PerThread) != 2 {
+		t.Fatalf("PerThread has %d entries", len(res.PerThread))
+	}
+	var sum uint64
+	for _, n := range res.PerThread {
+		sum += n
+	}
+	if sum != res.Ops {
+		t.Fatalf("per-thread sum %d != total %d", sum, res.Ops)
+	}
+	if res.Duration < 30*time.Millisecond {
+		t.Fatalf("measured duration %v below configured", res.Duration)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	cfg := Config{NewQueue: glFactory, Duration: 10 * time.Millisecond, Prefill: 10}
+	res := Run(cfg) // Threads 0 → 1
+	if res.Ops == 0 || len(res.PerThread) != 1 {
+		t.Fatalf("defaulted run: %+v", res)
+	}
+	c := Config{}.withDefaults()
+	if c.Threads != 1 || c.Duration != time.Second || c.Seed == 0 {
+		t.Fatalf("withDefaults: %+v", c)
+	}
+	if (Config{Prefill: -1}).withDefaults().Prefill != DefaultPrefill {
+		t.Fatal("negative prefill did not select default")
+	}
+	if (Config{Prefill: 0}).withDefaults().Prefill != 0 {
+		t.Fatal("zero prefill must stay zero")
+	}
+}
+
+func TestPrefillCount(t *testing.T) {
+	q := seqheap.NewGlobalLock()
+	cfg := quickCfg(3)
+	cfg.Prefill = 1003 // not divisible by 3: remainder must not be lost
+	PrefillQueue(q, cfg)
+	if n := q.Len(); n != 1003 {
+		t.Fatalf("prefill inserted %d, want 1003", n)
+	}
+}
+
+func TestPrefillZero(t *testing.T) {
+	q := seqheap.NewGlobalLock()
+	cfg := quickCfg(2)
+	cfg.Prefill = 0
+	PrefillQueue(q, cfg)
+	if q.Len() != 0 {
+		t.Fatal("zero prefill inserted items")
+	}
+}
+
+func TestSplitWorkloadRuns(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.Workload = workload.Split
+	res := Run(cfg)
+	if res.Ops == 0 {
+		t.Fatal("split run recorded no ops")
+	}
+}
+
+func TestAlternatingWorkloadSteadyState(t *testing.T) {
+	cfg := quickCfg(2)
+	cfg.Workload = workload.Alternating
+	res := Run(cfg)
+	if res.Ops == 0 {
+		t.Fatal("alternating run recorded no ops")
+	}
+	// Strict alternation starting with insert keeps the queue non-empty;
+	// empty deletes should be rare (only transient races).
+	if res.EmptyDeletes > res.Ops/10 {
+		t.Fatalf("%d of %d deletes hit empty queue", res.EmptyDeletes, res.Ops)
+	}
+}
+
+func TestRunRepeatedSummary(t *testing.T) {
+	s := RunRepeated(quickCfg(2), 3)
+	if len(s.Results) != 3 {
+		t.Fatalf("%d results", len(s.Results))
+	}
+	if s.Throughput.N != 3 || s.Throughput.Mean <= 0 {
+		t.Fatalf("summary: %+v", s.Throughput)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if len(RunRepeated(quickCfg(1), 0).Results) != 1 {
+		t.Fatal("reps floor not applied")
+	}
+}
+
+func TestReproducibleSeeds(t *testing.T) {
+	// Same seed must produce the same prefill content (deterministic
+	// generators); we verify via a drain comparison on two queues.
+	q1 := seqheap.NewGlobalLock()
+	q2 := seqheap.NewGlobalLock()
+	cfg := quickCfg(2)
+	cfg.Prefill = 500
+	PrefillQueue(q1, cfg)
+	PrefillQueue(q2, cfg)
+	h1, h2 := q1.Handle(), q2.Handle()
+	for {
+		k1, _, ok1 := h1.DeleteMin()
+		k2, _, ok2 := h2.DeleteMin()
+		if ok1 != ok2 || k1 != k2 {
+			t.Fatalf("prefill not reproducible: %d/%v vs %d/%v", k1, ok1, k2, ok2)
+		}
+		if !ok1 {
+			break
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package hunt
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func TestSlotFor(t *testing.T) {
+	// The first items of each level land at the level head; subsequent
+	// ones spread by bit reversal.
+	want := map[int]int{1: 1, 2: 2, 3: 3, 4: 4, 5: 6, 6: 5, 7: 7, 8: 8, 9: 12, 10: 10, 11: 14}
+	for n, w := range want {
+		if got := slotFor(n); got != w {
+			t.Fatalf("slotFor(%d) = %d, want %d", n, got, w)
+		}
+	}
+	// Property: slotFor is a bijection from 1..2^L-1 onto itself, and every
+	// slot's parent slot is enumerated earlier.
+	seen := map[int]int{}
+	order := map[int]int{}
+	for n := 1; n < 1<<10; n++ {
+		s := slotFor(n)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("slot %d assigned to both %d and %d", s, prev, n)
+		}
+		seen[s] = n
+		order[s] = n
+		if s > 1 {
+			parent := s / 2
+			pn, ok := order[parent]
+			if !ok || pn >= n {
+				t.Fatalf("slot %d (item %d) filled before its parent %d", s, n, parent)
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	q := New(0)
+	h := q.Handle()
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty returned ok")
+	}
+	if q.Name() != "hunt" {
+		t.Fatalf("name = %q", q.Name())
+	}
+}
+
+func TestSequentialOrder(t *testing.T) {
+	q := New(0)
+	h := q.Handle()
+	r := rng.New(1)
+	const n = 5000
+	want := make([]uint64, n)
+	for i := range want {
+		k := r.Uint64() % 997
+		want[i] = k
+		h.Insert(k, k+2)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < n; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || k != want[i] || v != k+2 {
+			t.Fatalf("deletion %d = %d/%d/%v, want %d", i, k, v, ok, want[i])
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestInterleaved(t *testing.T) {
+	q := New(0)
+	h := q.Handle()
+	h.Insert(10, 0)
+	h.Insert(5, 0)
+	if k, _, _ := h.DeleteMin(); k != 5 {
+		t.Fatalf("want 5, got %d", k)
+	}
+	h.Insert(1, 0)
+	if k, _, _ := h.DeleteMin(); k != 1 {
+		t.Fatalf("want 1, got %d", k)
+	}
+	if k, _, _ := h.DeleteMin(); k != 10 {
+		t.Fatalf("want 10, got %d", k)
+	}
+}
+
+func TestGrowthBeyondHint(t *testing.T) {
+	q := New(4)
+	h := q.Handle()
+	const n = 10000
+	for k := uint64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		k, _, ok := h.DeleteMin()
+		if !ok || k != i {
+			t.Fatalf("deletion %d = %d/%v", i, k, ok)
+		}
+	}
+	if q.maxLevel.Load() < 13 {
+		t.Fatalf("maxLevel = %d, heap did not grow", q.maxLevel.Load())
+	}
+	_ = bits.Len(0) // keep math/bits imported for the tests above
+}
+
+func TestConcurrentMultisetPreserved(t *testing.T) {
+	q := New(1 << 16)
+	const workers = 8
+	const perWorker = 3000
+	var wg sync.WaitGroup
+	ins := make([][]uint64, workers)
+	del := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 11)
+			for i := 0; i < perWorker; i++ {
+				k := r.Uint64() % 100000
+				h.Insert(k, k)
+				ins[w] = append(ins[w], k)
+				if i%2 == 0 {
+					if k, _, ok := h.DeleteMin(); ok {
+						del[w] = append(del[w], k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all, got []uint64
+	for w := 0; w < workers; w++ {
+		all = append(all, ins[w]...)
+		got = append(got, del[w]...)
+	}
+	h := q.Handle()
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("recovered %d of %d items", len(got), len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := range all {
+		if all[i] != got[i] {
+			t.Fatalf("multiset mismatch at %d: %d vs %d", i, all[i], got[i])
+		}
+	}
+}
+
+func TestQuiescentDrainSorted(t *testing.T) {
+	q := New(1 << 15)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 23)
+			for i := 0; i < 3000; i++ {
+				h.Insert(r.Uint64()%10000, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := q.Handle()
+	var prev uint64
+	first := true
+	count := 0
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		if !first && k < prev {
+			t.Fatalf("quiescent drain out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		count++
+	}
+	if count != 18000 {
+		t.Fatalf("drained %d of 18000", count)
+	}
+}
+
+func TestConcurrentDrainExactlyOnce(t *testing.T) {
+	q := New(1 << 15)
+	h := q.Handle()
+	const n = 10000
+	for k := uint64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	const workers = 8
+	out := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			for {
+				k, _, ok := h.DeleteMin()
+				if !ok {
+					return
+				}
+				out[w] = append(out[w], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, n)
+	total := 0
+	for _, ks := range out {
+		for _, k := range ks {
+			if seen[k] {
+				t.Fatalf("key %d deleted twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("deleted %d of %d", total, n)
+	}
+}

@@ -1,0 +1,38 @@
+package keys
+
+import "math"
+
+// Appendix F lists "Key type: integer, floating point" among the
+// benchmark's orthogonal parameters. Every queue in the suite orders
+// uint64 keys, so float64 priorities are supported through an
+// order-preserving bijection rather than per-queue float variants: the
+// classic sign-flip trick maps IEEE-754 doubles onto uint64 such that
+//
+//	a < b  ⇔  FromFloat64(a) < FromFloat64(b)
+//
+// for all non-NaN values, including negatives, zeros (-0 and +0 map
+// adjacently) and infinities. Use:
+//
+//	h.Insert(keys.FromFloat64(3.14), value)
+//	k, v, ok := h.DeleteMin()
+//	prio := keys.ToFloat64(k)
+
+// FromFloat64 maps a float64 to a uint64 preserving order. NaN has no
+// defined order; it maps above +Inf.
+func FromFloat64(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		// Negative: flip all bits so more-negative sorts smaller.
+		return ^b
+	}
+	// Non-negative: set the sign bit so positives sort above negatives.
+	return b | 1<<63
+}
+
+// ToFloat64 inverts FromFloat64.
+func ToFloat64(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}

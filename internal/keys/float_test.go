@@ -1,0 +1,66 @@
+package keys
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloatRoundTrip(t *testing.T) {
+	cases := []float64{0, math.Copysign(0, -1), 1, -1, 3.14, -2.71,
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1)}
+	for _, f := range cases {
+		got := ToFloat64(FromFloat64(f))
+		if got != f && !(f == 0 && got == 0) { // -0 == +0 under ==
+			t.Fatalf("round trip %v -> %v", f, got)
+		}
+		// Bit-exact round trip, including the sign of zero.
+		if math.Float64bits(got) != math.Float64bits(f) {
+			t.Fatalf("bit round trip %v: %x -> %x", f, math.Float64bits(f), math.Float64bits(got))
+		}
+	}
+}
+
+func TestFloatOrderPreservedProperty(t *testing.T) {
+	if err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ua, ub := FromFloat64(a), FromFloat64(b)
+		switch {
+		case a < b:
+			return ua < ub
+		case a > b:
+			return ua > ub
+		default:
+			// a == b; -0 and +0 compare equal but may map to adjacent
+			// codes — both orders of deletion are acceptable.
+			return true
+		}
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatSortEquivalence(t *testing.T) {
+	vals := []float64{5.5, -3.2, 0, 1e308, -1e308, 0.001, -0.001, 42, math.Inf(-1), math.Inf(1)}
+	mapped := make([]uint64, len(vals))
+	for i, f := range vals {
+		mapped[i] = FromFloat64(f)
+	}
+	sort.Float64s(vals)
+	sort.Slice(mapped, func(i, j int) bool { return mapped[i] < mapped[j] })
+	for i := range vals {
+		if got := ToFloat64(mapped[i]); got != vals[i] {
+			t.Fatalf("sorted position %d: %v vs %v", i, got, vals[i])
+		}
+	}
+}
+
+func TestNaNAboveInfinity(t *testing.T) {
+	if FromFloat64(math.NaN()) <= FromFloat64(math.Inf(1)) {
+		t.Fatal("NaN does not sort above +Inf")
+	}
+}

@@ -1,0 +1,90 @@
+package keys
+
+import (
+	"testing"
+)
+
+func TestHoldAscendingFollowsObservations(t *testing.T) {
+	g := gen(HoldAscending, 1)
+	// Without observations, keys are just the random base (< 2^10).
+	for i := 0; i < 100; i++ {
+		if k := g.Next(); k >= 1<<BaseBits {
+			t.Fatalf("unobserved holdasc key %d out of base range", k)
+		}
+	}
+	// After observing a deletion at key T, the next key is in [T, T+2^10).
+	const T = 1_000_000
+	g.Observe(T)
+	for i := 0; i < 100; i++ {
+		k := g.Next()
+		if k < T || k >= T+1<<BaseBits {
+			t.Fatalf("holdasc key %d not in [%d, %d)", k, T, T+1<<BaseBits)
+		}
+	}
+}
+
+func TestHoldDescendingFollowsObservations(t *testing.T) {
+	g := gen(HoldDescending, 2)
+	const T = 1_000_000
+	g.Observe(T)
+	for i := 0; i < 100; i++ {
+		k := g.Next()
+		if k > T || k+1<<BaseBits <= T-(1<<BaseBits) {
+			t.Fatalf("holddesc key %d not in (%d, %d]", k, T-(1<<BaseBits), T)
+		}
+	}
+}
+
+func TestHoldDescendingNoUnderflow(t *testing.T) {
+	g := gen(HoldDescending, 3)
+	g.Observe(5) // nearly at zero
+	for i := 0; i < 100; i++ {
+		if k := g.Next(); k > 5 {
+			t.Fatalf("holddesc key %d exceeds last observation 5", k)
+		}
+	}
+}
+
+func TestHoldDescendingDefaultStart(t *testing.T) {
+	// Without observations the generator must start from a high offset
+	// rather than underflowing around zero.
+	g := gen(HoldDescending, 4)
+	k := g.Next()
+	if k < 1<<39 {
+		t.Fatalf("unobserved holddesc key %d suspiciously small", k)
+	}
+}
+
+func TestHoldModelSimulatedLoop(t *testing.T) {
+	// A hold-model loop: delete-then-insert with dependent keys, as in
+	// discrete event simulation; keys must drift monotonically upward on
+	// average across the run.
+	g := gen(HoldAscending, 5)
+	current := uint64(500)
+	g.Observe(current)
+	var first, last float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := g.Next() // schedule the next event
+		g.Observe(k)  // it becomes the next deletion
+		if i < n/10 {
+			first += float64(k)
+		}
+		if i >= n-n/10 {
+			last += float64(k)
+		}
+	}
+	if last <= first {
+		t.Fatal("hold-model keys do not drift upward")
+	}
+}
+
+func TestObserveIgnoredByUniform(t *testing.T) {
+	a, b := gen(Uniform32, 6), gen(Uniform32, 6)
+	b.Observe(12345)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("Observe changed a uniform generator's stream")
+		}
+	}
+}

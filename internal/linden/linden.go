@@ -1,0 +1,254 @@
+// Package linden implements the Lindén-Jonsson concurrent priority queue
+// (OPODIS 2013), the paper's representative of strict, skiplist-based,
+// lock-free designs ("currently one of the most efficient Skiplist-based
+// designs", Appendix C).
+//
+// The design's key idea is to minimise memory contention on delete_min:
+//
+//   - A node is logically deleted by marking its own level-0 forward
+//     pointer. delete_min walks the (growing) prefix of logically deleted
+//     nodes from the head and CAS-marks the first live node it meets. The
+//     only contended CAS is therefore on the current head-of-queue node,
+//     and failed attempts move forward instead of restarting.
+//   - Physical unlinking is batched: only when a delete_min has walked more
+//     than BoundOffset dead nodes does it restructure, swinging the head's
+//     pointers past the whole dead prefix in one go.
+//
+// Inserts choose their predecessor among live nodes only, and splice in
+// front of any dead nodes that follow it, using a validated CAS (skiplist.Ref)
+// so that the decision taken during the search cannot be invalidated
+// between search and link.
+package linden
+
+import (
+	"sync/atomic"
+
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+	"cpq/internal/skiplist"
+)
+
+// DefaultBoundOffset is the physical-deletion batching threshold. Lindén and
+// Jonsson report the best performance for thresholds around the hundreds on
+// their machines; the constructor accepts other values and the ablation
+// benchmarks sweep it.
+const DefaultBoundOffset = 128
+
+// Queue is a Lindén-Jonsson priority queue. Strict (linearizable)
+// semantics: delete_min returns the minimum in some linearization.
+type Queue struct {
+	list        *skiplist.List
+	boundOffset int
+	seed        atomic.Uint64
+}
+
+var _ pq.Queue = (*Queue)(nil)
+
+// New returns an empty queue with the given physical-deletion batching
+// threshold; boundOffset <= 0 selects DefaultBoundOffset.
+func New(boundOffset int) *Queue {
+	if boundOffset <= 0 {
+		boundOffset = DefaultBoundOffset
+	}
+	return &Queue{list: skiplist.New(), boundOffset: boundOffset}
+}
+
+// Name implements pq.Queue.
+func (q *Queue) Name() string { return "linden" }
+
+// Handle implements pq.Queue.
+func (q *Queue) Handle() pq.Handle {
+	return &Handle{q: q, rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15))}
+}
+
+// Handle is a per-goroutine handle. It only carries the tower-height RNG.
+type Handle struct {
+	q   *Queue
+	rng *rng.Xoroshiro
+}
+
+var _ pq.Handle = (*Handle)(nil)
+var _ pq.Peeker = (*Handle)(nil)
+
+// Insert implements pq.Handle.
+func (h *Handle) Insert(key, value uint64) {
+	q := h.q
+	height := skiplist.RandomHeight(h.rng)
+	n := skiplist.NewNode(key, value, height)
+	var preds [skiplist.MaxHeight]*skiplist.Node
+	var succRefs [skiplist.MaxHeight]skiplist.Ref
+	for {
+		q.find(key, &preds, &succRefs)
+		// Level 0: validated splice after the last live node with a smaller
+		// key. succRefs[0] may point to a dead node; the new node simply
+		// takes over the chain, keeping dead nodes reachable until the next
+		// restructure.
+		n.SetNext(0, succRefs[0].Node(), false)
+		for i := 1; i < height; i++ {
+			n.SetNext(i, succRefs[i].Node(), false)
+		}
+		if preds[0].CASRef(0, succRefs[0], n, false) {
+			break
+		}
+		// Window changed (concurrent insert or the pred was deleted).
+	}
+	// Raise the tower best-effort; the node is already logically present.
+	for level := 1; level < height; level++ {
+		for attempt := 0; ; attempt++ {
+			if r := n.LoadRef(level); r.Marked() {
+				return // node already deleted and frozen at this level
+			}
+			if preds[level].CASRef(level, succRefs[level], n, false) {
+				break
+			}
+			if attempt >= 4 {
+				// Give up on this and all higher levels: the node stays
+				// findable through level 0, just with a shorter tower.
+				return
+			}
+			q.find(key, &preds, &succRefs)
+			if r := n.LoadRef(level); !r.Marked() && r.Node() != succRefs[level].Node() {
+				n.SetNext(level, succRefs[level].Node(), false)
+			}
+		}
+	}
+}
+
+// find locates, at every level, the last node with key strictly smaller than
+// key that is live (its level-0 pointer unmarked), together with a validated
+// snapshot of that node's forward pointer. Dead nodes are skipped but not
+// unlinked — batching physical deletion is the whole point of this design.
+func (q *Queue) find(key uint64, preds *[skiplist.MaxHeight]*skiplist.Node, succRefs *[skiplist.MaxHeight]skiplist.Ref) {
+retry:
+	for {
+		pred := q.list.Head()
+		predRef := pred.LoadRef(skiplist.MaxHeight - 1)
+		for level := skiplist.MaxHeight - 1; level >= 0; level-- {
+			curr := predRef.Node()
+			for curr != nil {
+				if curr.DeletedAt0() || (level > 0 && currMarkedAt(curr, level)) {
+					// Dead (or frozen at this level): skip without helping.
+					next, _ := curr.Next(level)
+					curr = next
+					continue
+				}
+				if curr.Key >= key {
+					break
+				}
+				pred = curr
+				predRef = pred.LoadRef(level)
+				// The freshly loaded ref may already lead somewhere else
+				// than where we walked; re-validate it.
+				if predRef.Marked() {
+					// pred was deleted under us. Restart the whole search:
+					// redescending through the towers costs O(log n),
+					// whereas resuming this level from the head would walk
+					// it node by node.
+					continue retry
+				}
+				curr = predRef.Node()
+			}
+			preds[level] = pred
+			succRefs[level] = predRef
+			if level > 0 {
+				predRef = pred.LoadRef(level - 1)
+				if predRef.Marked() {
+					// pred died between levels. Returning this snapshot
+					// would let the caller CAS a marked cell back to
+					// unmarked — resurrecting a consumed node and cutting
+					// the new node out of the list. Restart instead.
+					continue retry
+				}
+			}
+		}
+		return
+	}
+}
+
+func currMarkedAt(n *skiplist.Node, level int) bool {
+	if level >= n.Height() {
+		return false
+	}
+	_, marked := n.Next(level)
+	return marked
+}
+
+// DeleteMin implements pq.Handle. It walks the dead prefix from the head and
+// marks the first live node. If it walked more than the queue's bound of
+// dead nodes, it restructures (batch physical unlink).
+func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
+	q := h.q
+	curr, _ := q.list.Head().Next(0)
+	offset := 0
+	for curr != nil {
+		ref := curr.LoadRef(0)
+		if ref.Marked() {
+			offset++
+			curr = ref.Node()
+			continue
+		}
+		if curr.CASRef(0, ref, ref.Node(), true) {
+			// Logically deleted curr; we own it.
+			if offset >= q.boundOffset {
+				q.restructure()
+			}
+			return curr.Key, curr.Value, true
+		}
+		// CAS failed: either curr was deleted (advance on the next loop
+		// iteration via the fresh LoadRef) or an insert spliced a node
+		// after curr (retry the CAS against the fresh pointer).
+	}
+	if offset >= q.boundOffset {
+		// The queue looks empty but a long dead prefix remains; clean it up
+		// so it does not tax every subsequent operation.
+		q.restructure()
+	}
+	return 0, 0, false
+}
+
+// PeekMin returns the first live key without deleting it (approximate under
+// concurrency; used by examples and tests).
+func (h *Handle) PeekMin() (key, value uint64, ok bool) {
+	n := h.q.list.FirstLive()
+	if n == nil {
+		return 0, 0, false
+	}
+	return n.Key, n.Value, true
+}
+
+// restructure physically unlinks the dead prefix: it freezes the towers of
+// all currently dead prefix nodes and then lets a helping Find swing the
+// head's pointers past them at every level.
+func (q *Queue) restructure() {
+	curr, _ := q.list.Head().Next(0)
+	for curr != nil {
+		succ, marked := curr.Next(0)
+		if !marked {
+			break
+		}
+		curr.MarkTower()
+		curr = succ
+	}
+	var preds, succs [skiplist.MaxHeight]*skiplist.Node
+	q.list.Find(0, &preds, &succs)
+}
+
+// BoundOffset reports the configured batching threshold.
+func (q *Queue) BoundOffset() int { return q.boundOffset }
+
+// Len counts live items. O(n); tests and draining only.
+func (q *Queue) Len() int { return q.list.CountLive() }
+
+// Drain removes remaining live items (single-threaded teardown helper) and
+// returns their keys in ascending order of removal.
+func (q *Queue) Drain() []uint64 {
+	h := &Handle{q: q, rng: rng.New(1)}
+	var out []uint64
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			return out
+		}
+		out = append(out, k)
+	}
+}

@@ -1,0 +1,301 @@
+package linden
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	q := New(0)
+	h := q.Handle()
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty returned ok")
+	}
+	if q.Name() != "linden" {
+		t.Fatalf("name = %q", q.Name())
+	}
+	if q.BoundOffset() != DefaultBoundOffset {
+		t.Fatalf("default bound = %d", q.BoundOffset())
+	}
+}
+
+func TestSequentialStrictOrder(t *testing.T) {
+	q := New(8)
+	h := q.Handle()
+	r := rng.New(1)
+	const n = 5000
+	want := make([]uint64, n)
+	for i := range want {
+		k := r.Uint64() % 1000 // duplicates included
+		want[i] = k
+		h.Insert(k, k*2)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < n; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok {
+			t.Fatalf("queue empty after %d deletions, want %d", i, n)
+		}
+		if k != want[i] {
+			t.Fatalf("deletion %d = %d, want %d", i, k, want[i])
+		}
+		if v != k*2 {
+			t.Fatalf("value %d does not match key %d", v, k)
+		}
+	}
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	q := New(4)
+	h := q.Handle()
+	// Insert 10, 20; delete (10); insert 5; delete (5) — a smaller key
+	// inserted after deletions must surface immediately.
+	h.Insert(10, 0)
+	h.Insert(20, 0)
+	if k, _, _ := h.DeleteMin(); k != 10 {
+		t.Fatalf("first deletion = %d", k)
+	}
+	h.Insert(5, 0)
+	if k, _, _ := h.DeleteMin(); k != 5 {
+		t.Fatalf("second deletion = %d, want 5", k)
+	}
+	if k, _, _ := h.DeleteMin(); k != 20 {
+		t.Fatalf("third deletion = %d, want 20", k)
+	}
+}
+
+func TestInsertSmallerThanDeadPrefix(t *testing.T) {
+	// Build a dead prefix (bound not reached, so it stays physically
+	// linked), then insert keys smaller than the dead keys.
+	q := New(1 << 30) // never restructure
+	h := q.Handle()
+	for k := uint64(100); k < 150; k++ {
+		h.Insert(k, 0)
+	}
+	for i := 0; i < 30; i++ {
+		h.DeleteMin() // kills 100..129, leaving them linked
+	}
+	h.Insert(50, 1)
+	h.Insert(60, 2)
+	if k, v, _ := h.DeleteMin(); k != 50 || v != 1 {
+		t.Fatalf("got %d/%d, want 50/1", k, v)
+	}
+	if k, _, _ := h.DeleteMin(); k != 60 {
+		t.Fatalf("want 60, got %d", k)
+	}
+	if k, _, _ := h.DeleteMin(); k != 130 {
+		t.Fatalf("want 130, got %d", k)
+	}
+}
+
+func TestRestructureCleansPrefix(t *testing.T) {
+	q := New(4)
+	h := q.Handle()
+	for k := uint64(0); k < 100; k++ {
+		h.Insert(k, 0)
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, ok := h.DeleteMin(); !ok {
+			t.Fatalf("empty after %d", i)
+		}
+	}
+	// With bound 4, restructures must have physically removed most dead
+	// nodes; after draining, at most ~bound dead nodes linger.
+	count := 0
+	n, _ := q.list.Head().Next(0)
+	for n != nil {
+		count++
+		n, _ = n.Next(0)
+	}
+	if count > 2*q.BoundOffset()+2 {
+		t.Fatalf("%d physical nodes linger after drain (bound %d)", count, q.BoundOffset())
+	}
+}
+
+func TestPeekMin(t *testing.T) {
+	q := New(0)
+	h := q.Handle().(*Handle)
+	if _, _, ok := h.PeekMin(); ok {
+		t.Fatal("PeekMin on empty returned ok")
+	}
+	h.Insert(42, 7)
+	h.Insert(17, 3)
+	if k, v, ok := h.PeekMin(); !ok || k != 17 || v != 3 {
+		t.Fatalf("PeekMin = %d/%d/%v", k, v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestConcurrentNoLostOrDuplicatedItems(t *testing.T) {
+	q := New(16)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	deleted := make([][]uint64, workers)
+	inserted := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) * 7)
+			for i := 0; i < perWorker; i++ {
+				k := r.Uint64() % 100000
+				h.Insert(k, k)
+				inserted[w] = append(inserted[w], k)
+				if i%2 == 1 {
+					if k, v, ok := h.DeleteMin(); ok {
+						if v != k {
+							panic("value mismatch")
+						}
+						deleted[w] = append(deleted[w], k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var ins, del []uint64
+	for w := range inserted {
+		ins = append(ins, inserted[w]...)
+		del = append(del, deleted[w]...)
+	}
+	del = append(del, q.Drain()...)
+	if len(del) != len(ins) {
+		t.Fatalf("inserted %d, recovered %d", len(ins), len(del))
+	}
+	sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+	sort.Slice(del, func(i, j int) bool { return del[i] < del[j] })
+	for i := range ins {
+		if ins[i] != del[i] {
+			t.Fatalf("multiset mismatch at %d: %d vs %d", i, ins[i], del[i])
+		}
+	}
+}
+
+func TestConcurrentDeletersDisjoint(t *testing.T) {
+	// Prefill with distinct keys; concurrent deleters must never return the
+	// same key twice (ownership via the marking CAS).
+	q := New(32)
+	h := q.Handle()
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	const workers = 8
+	out := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			for {
+				k, _, ok := h.DeleteMin()
+				if !ok {
+					return
+				}
+				out[w] = append(out[w], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, n)
+	total := 0
+	for _, ks := range out {
+		for _, k := range ks {
+			if seen[k] {
+				t.Fatalf("key %d deleted twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("deleted %d of %d items", total, n)
+	}
+}
+
+func TestStrictUnderSingleThreadAfterConcurrentInserts(t *testing.T) {
+	// Parallel inserts, then single-threaded drain must be sorted: strict
+	// semantics mean rank error 0 in quiescence.
+	q := New(64)
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 50)
+			for i := 0; i < 3000; i++ {
+				h.Insert(r.Uint64()%5000, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	drained := q.Drain()
+	if len(drained) != workers*3000 {
+		t.Fatalf("drained %d items", len(drained))
+	}
+	if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] }) {
+		t.Fatal("drain not sorted: queue is not strict")
+	}
+}
+
+func TestDrainHelper(t *testing.T) {
+	q := New(0)
+	h := q.Handle()
+	for _, k := range []uint64{3, 1, 2} {
+		h.Insert(k, 0)
+	}
+	got := q.Drain()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Drain = %v", got)
+	}
+	if len(q.Drain()) != 0 {
+		t.Fatal("second Drain not empty")
+	}
+}
+
+func TestBoundOffsetOne(t *testing.T) {
+	// Eager restructuring (bound 1) must still be correct.
+	q := New(1)
+	h := q.Handle()
+	for k := uint64(0); k < 500; k++ {
+		h.Insert(k, k)
+	}
+	for i := uint64(0); i < 500; i++ {
+		k, _, ok := h.DeleteMin()
+		if !ok || k != i {
+			t.Fatalf("deletion %d = %d/%v", i, k, ok)
+		}
+	}
+}
+
+func TestDuplicateKeysPreserved(t *testing.T) {
+	q := New(8)
+	h := q.Handle()
+	for i := 0; i < 100; i++ {
+		h.Insert(7, uint64(i))
+	}
+	values := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || k != 7 {
+			t.Fatalf("deletion %d = %d/%v", i, k, ok)
+		}
+		if values[v] {
+			t.Fatalf("value %d returned twice", v)
+		}
+		values[v] = true
+	}
+}

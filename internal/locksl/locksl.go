@@ -1,0 +1,78 @@
+// Package locksl provides a skiplist protected by a single global lock.
+// Appendix D recalls that Sundell and Tsigas benchmarked their lock-free
+// queue as "slightly better than a priority queue consisting of a Skiplist
+// protected by a single global lock" — this is that baseline, the skiplist
+// counterpart of seqheap.GlobalLock. Comparing the two global-lock
+// baselines isolates the sequential-structure cost (array heap vs. pointer
+// skiplist) from all concurrency effects.
+package locksl
+
+import (
+	"sync"
+
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+	"cpq/internal/skiplist"
+)
+
+// Queue is a globally locked skiplist priority queue. Strict semantics.
+type Queue struct {
+	mu   sync.Mutex
+	list *skiplist.List
+	rng  *rng.Xoroshiro // tower heights; guarded by mu
+}
+
+var _ pq.Queue = (*Queue)(nil)
+var _ pq.Handle = (*Queue)(nil)
+var _ pq.Peeker = (*Queue)(nil)
+
+// New returns an empty queue.
+func New() *Queue {
+	return &Queue{list: skiplist.New(), rng: rng.NewAuto()}
+}
+
+// Name implements pq.Queue.
+func (q *Queue) Name() string { return "locksl" }
+
+// Handle implements pq.Queue; the queue itself is the handle (no
+// thread-local state — the global lock serializes everything).
+func (q *Queue) Handle() pq.Handle { return q }
+
+// Insert implements pq.Handle.
+func (q *Queue) Insert(key, value uint64) {
+	q.mu.Lock()
+	q.list.Insert(key, value, skiplist.RandomHeight(q.rng))
+	q.mu.Unlock()
+}
+
+// DeleteMin implements pq.Handle: under the lock, take the first node and
+// physically unlink it.
+func (q *Queue) DeleteMin() (key, value uint64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n, _ := q.list.Head().Next(0)
+	if n == nil {
+		return 0, 0, false
+	}
+	n.MarkTower()
+	q.list.Unlink(n)
+	return n.Key, n.Value, true
+}
+
+// PeekMin implements pq.Peeker.
+func (q *Queue) PeekMin() (key, value uint64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n, _ := q.list.Head().Next(0)
+	if n == nil {
+		return 0, 0, false
+	}
+	return n.Key, n.Value, true
+}
+
+// Len counts items (O(n); tests only).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.list.CountLive()
+}

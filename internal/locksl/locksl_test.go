@@ -1,0 +1,109 @@
+package locksl
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	q := New()
+	if q.Name() != "locksl" {
+		t.Fatalf("name = %q", q.Name())
+	}
+	h := q.Handle()
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty returned ok")
+	}
+	if _, _, ok := q.PeekMin(); ok {
+		t.Fatal("PeekMin on empty returned ok")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestStrictOrder(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	r := rng.New(1)
+	const n = 4000
+	want := make([]uint64, n)
+	for i := range want {
+		k := r.Uint64() % 600
+		want[i] = k
+		h.Insert(k, k*3)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < n; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || k != want[i] || v != k*3 {
+			t.Fatalf("deletion %d = %d/%d/%v, want %d", i, k, v, ok, want[i])
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := New()
+	q.Insert(5, 50)
+	q.Insert(2, 20)
+	if k, v, ok := q.PeekMin(); !ok || k != 2 || v != 20 {
+		t.Fatalf("PeekMin = %d/%d/%v", k, v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("peek removed an item")
+	}
+}
+
+func TestConcurrentMultisetPreserved(t *testing.T) {
+	q := New()
+	const workers = 8
+	const perWorker = 3000
+	var wg sync.WaitGroup
+	ins := make([][]uint64, workers)
+	del := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 3)
+			for i := 0; i < perWorker; i++ {
+				k := r.Uint64() % 100000
+				h.Insert(k, k)
+				ins[w] = append(ins[w], k)
+				if i%2 == 0 {
+					if k, _, ok := h.DeleteMin(); ok {
+						del[w] = append(del[w], k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all, got []uint64
+	for w := 0; w < workers; w++ {
+		all = append(all, ins[w]...)
+		got = append(got, del[w]...)
+	}
+	h := q.Handle()
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("recovered %d of %d", len(got), len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := range all {
+		if all[i] != got[i] {
+			t.Fatalf("multiset mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package lotan implements a lock-free variant of the Shavit-Lotan skiplist
+// priority queue (IPDPS 2000), in the quiescently-consistent formulation of
+// Herlihy & Shavit's "The Art of Multiprocessor Programming" (Appendix D of
+// the paper lists it among the historically relevant designs; the suite
+// includes it as an extension baseline).
+//
+// delete_min scans the bottom level from the head and attempts to claim the
+// first unclaimed node via a dedicated logical-deletion flag; the winner
+// then removes the node from the skiplist (mark tower + helped unlink).
+// Compared to Lindén-Jonsson, every deletion performs physical removal
+// immediately, which concentrates memory contention at the list head — the
+// exact behaviour Lindén-Jonsson's batching improves on, and an interesting
+// ablation pair for the benchmarks.
+package lotan
+
+import (
+	"sync/atomic"
+
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+	"cpq/internal/skiplist"
+)
+
+// Queue is a Shavit-Lotan style priority queue.
+type Queue struct {
+	list *skiplist.List
+	seed atomic.Uint64
+}
+
+var _ pq.Queue = (*Queue)(nil)
+
+// New returns an empty queue.
+func New() *Queue { return &Queue{list: skiplist.New()} }
+
+// Name implements pq.Queue.
+func (q *Queue) Name() string { return "lotan" }
+
+// Handle implements pq.Queue.
+func (q *Queue) Handle() pq.Handle {
+	return &Handle{q: q, rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15))}
+}
+
+// Handle is a per-goroutine handle carrying the tower-height RNG.
+type Handle struct {
+	q   *Queue
+	rng *rng.Xoroshiro
+}
+
+var _ pq.Handle = (*Handle)(nil)
+var _ pq.Peeker = (*Handle)(nil)
+
+// Insert implements pq.Handle.
+func (h *Handle) Insert(key, value uint64) {
+	h.q.list.Insert(key, value, skiplist.RandomHeight(h.rng))
+}
+
+// DeleteMin implements pq.Handle: claim the first unclaimed node from the
+// head of the bottom level, then physically remove it.
+func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
+	l := h.q.list
+	curr, _ := l.Head().Next(0)
+	for curr != nil {
+		if !curr.IsClaimed() && !curr.DeletedAt0() && curr.TryClaim() {
+			curr.MarkTower()
+			l.Unlink(curr)
+			return curr.Key, curr.Value, true
+		}
+		curr, _ = curr.Next(0)
+	}
+	return 0, 0, false
+}
+
+// PeekMin reports the first unclaimed node without removing it.
+func (h *Handle) PeekMin() (key, value uint64, ok bool) {
+	n := h.q.list.FirstLive()
+	if n == nil {
+		return 0, 0, false
+	}
+	return n.Key, n.Value, true
+}
+
+// Len counts live items. O(n); tests and draining only.
+func (q *Queue) Len() int { return q.list.CountLive() }

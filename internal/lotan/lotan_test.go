@@ -1,0 +1,189 @@
+package lotan
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty returned ok")
+	}
+	if q.Name() != "lotan" {
+		t.Fatalf("name = %q", q.Name())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestSequentialOrder(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	r := rng.New(1)
+	const n = 4000
+	want := make([]uint64, n)
+	for i := range want {
+		k := r.Uint64() % 777
+		want[i] = k
+		h.Insert(k, k+1)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < n; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || k != want[i] || v != k+1 {
+			t.Fatalf("deletion %d = %d/%d/%v, want key %d", i, k, v, ok, want[i])
+		}
+	}
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestPeekMin(t *testing.T) {
+	q := New()
+	h := q.Handle().(*Handle)
+	if _, _, ok := h.PeekMin(); ok {
+		t.Fatal("PeekMin on empty returned ok")
+	}
+	h.Insert(9, 90)
+	h.Insert(4, 40)
+	if k, v, ok := h.PeekMin(); !ok || k != 4 || v != 40 {
+		t.Fatalf("PeekMin = %d/%d/%v", k, v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("peek must not remove")
+	}
+}
+
+func TestConcurrentMixedMultisetPreserved(t *testing.T) {
+	q := New()
+	const workers = 8
+	const perWorker = 4000
+	var wg sync.WaitGroup
+	ins := make([][]uint64, workers)
+	del := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 31)
+			for i := 0; i < perWorker; i++ {
+				k := r.Uint64() % 50000
+				h.Insert(k, k)
+				ins[w] = append(ins[w], k)
+				if i%2 == 0 {
+					if k, _, ok := h.DeleteMin(); ok {
+						del[w] = append(del[w], k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all, got []uint64
+	for w := 0; w < workers; w++ {
+		all = append(all, ins[w]...)
+		got = append(got, del[w]...)
+	}
+	h := q.Handle()
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("recovered %d of %d items", len(got), len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := range all {
+		if all[i] != got[i] {
+			t.Fatalf("multiset mismatch at %d", i)
+		}
+	}
+}
+
+func TestConcurrentDeletersNoDuplicates(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	const workers = 8
+	out := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			for {
+				k, _, ok := h.DeleteMin()
+				if !ok {
+					return
+				}
+				out[w] = append(out[w], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, n)
+	total := 0
+	for _, ks := range out {
+		for _, k := range ks {
+			if seen[k] {
+				t.Fatalf("key %d deleted twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("deleted %d of %d", total, n)
+	}
+}
+
+func TestQuiescentDrainSorted(t *testing.T) {
+	q := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 77)
+			for i := 0; i < 2000; i++ {
+				h.Insert(r.Uint64()%3000, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := q.Handle()
+	var prev uint64
+	first := true
+	count := 0
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		if !first && k < prev {
+			t.Fatalf("quiescent drain out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		count++
+	}
+	if count != 12000 {
+		t.Fatalf("drained %d of 12000", count)
+	}
+}

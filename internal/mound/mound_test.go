@@ -1,0 +1,204 @@
+package mound
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty returned ok")
+	}
+	if _, _, ok := h.(*Handle).PeekMin(); ok {
+		t.Fatal("PeekMin on empty returned ok")
+	}
+	if q.Name() != "mound" {
+		t.Fatalf("name = %q", q.Name())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestSequentialOrder(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	r := rng.New(1)
+	const n = 5000
+	want := make([]uint64, n)
+	for i := range want {
+		k := r.Uint64() % 333 // heavy duplicates stress list nodes
+		want[i] = k
+		h.Insert(k, k+5)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < n; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || k != want[i] || v != k+5 {
+			t.Fatalf("deletion %d = %d/%d/%v, want %d", i, k, v, ok, want[i])
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestAscendingInsertions(t *testing.T) {
+	// Ascending keys are the mound's worst case for leaf probing (every
+	// new key is larger than all heads): exercises the grow path.
+	q := New()
+	h := q.Handle()
+	const n = 5000
+	for k := uint64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	for i := uint64(0); i < n; i++ {
+		k, _, ok := h.DeleteMin()
+		if !ok || k != i {
+			t.Fatalf("deletion %d = %d/%v", i, k, ok)
+		}
+	}
+}
+
+func TestMoundInvariantAfterMixedOps(t *testing.T) {
+	q := New()
+	h := q.Handle()
+	r := rng.New(2)
+	for i := 0; i < 3000; i++ {
+		h.Insert(r.Uint64()%1000, 0)
+		if i%3 == 0 {
+			h.DeleteMin()
+		}
+	}
+	depth := int(q.depth.Load())
+	for l := 0; l < depth; l++ {
+		for i := range q.levels[l] {
+			idx := 1<<l + i
+			parentHead := q.nodeAt(idx).head.Load()
+			for _, c := range []int{2 * idx, 2*idx + 1} {
+				if c >= 1<<(depth+1) {
+					continue
+				}
+				if childHead := q.nodeAt(c).head.Load(); parentHead > childHead {
+					t.Fatalf("invariant violated: node %d head %d > child %d head %d",
+						idx, parentHead, c, childHead)
+				}
+			}
+		}
+	}
+	// Node lists must be sorted descending.
+	for l := 0; l <= depth; l++ {
+		for i := range q.levels[l] {
+			n := &q.levels[l][i]
+			for j := 1; j < len(n.list); j++ {
+				if n.list[j-1].Key < n.list[j].Key {
+					t.Fatalf("node list not descending at level %d", l)
+				}
+			}
+		}
+	}
+}
+
+func TestPeekMin(t *testing.T) {
+	q := New()
+	h := q.Handle().(*Handle)
+	h.Insert(7, 70)
+	h.Insert(3, 30)
+	if k, v, ok := h.PeekMin(); !ok || k != 3 || v != 30 {
+		t.Fatalf("PeekMin = %d/%d/%v", k, v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("peek removed an item")
+	}
+}
+
+func TestConcurrentMultisetPreserved(t *testing.T) {
+	q := New()
+	const workers = 8
+	const perWorker = 3000
+	var wg sync.WaitGroup
+	ins := make([][]uint64, workers)
+	del := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 41)
+			for i := 0; i < perWorker; i++ {
+				k := r.Uint64() % 100000
+				h.Insert(k, k)
+				ins[w] = append(ins[w], k)
+				if i%2 == 0 {
+					if k, _, ok := h.DeleteMin(); ok {
+						del[w] = append(del[w], k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all, got []uint64
+	for w := 0; w < workers; w++ {
+		all = append(all, ins[w]...)
+		got = append(got, del[w]...)
+	}
+	h := q.Handle()
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("recovered %d of %d items", len(got), len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i := range all {
+		if all[i] != got[i] {
+			t.Fatalf("multiset mismatch at %d: %d vs %d", i, all[i], got[i])
+		}
+	}
+}
+
+func TestQuiescentDrainSorted(t *testing.T) {
+	q := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 61)
+			for i := 0; i < 2000; i++ {
+				h.Insert(r.Uint64()%5000, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := q.Handle()
+	var prev uint64
+	first := true
+	count := 0
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		if !first && k < prev {
+			t.Fatalf("quiescent drain out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		count++
+	}
+	if count != 12000 {
+		t.Fatalf("drained %d of 12000", count)
+	}
+}

@@ -1,0 +1,229 @@
+// Package multiq implements the MultiQueue of Rihani, Sanders and Dementiev
+// (SPAA 2015 brief announcement): the simplest of the paper's relaxed
+// designs and, per the paper's conclusion, the most consistent performer.
+//
+// The structure consists of c·P sequential priority queues, each protected
+// by its own lock (the paper uses std::priority_queue; here the equivalent
+// seqheap.Heap). Inserts push to a uniformly random queue; delete_min peeks
+// at two uniformly random queues and pops from the one with the smaller
+// minimum ("power of two choices" load balancing). No bound on the rank
+// error has been proved ("no obvious guarantees on the order of deleted
+// elements"), but empirically the error grows linearly with the thread
+// count, which the quality benchmark reproduces.
+//
+// Each sub-queue caches its current minimum key in an atomic word so
+// delete_min's comparison never takes locks it will not use.
+package multiq
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+	"cpq/internal/seqheap"
+)
+
+// DefaultC is the queues-per-thread factor; the paper's benchmarks set c=4.
+const DefaultC = 4
+
+// emptyKey is the cached-minimum sentinel for an empty sub-queue.
+const emptyKey = math.MaxUint64
+
+// SubHeap is the sequential priority queue backing one sub-queue. The
+// paper uses std::priority_queue (a binary heap); the suite also provides
+// d-ary heaps for the sub-heap ablation (seqheap.DHeap).
+type SubHeap interface {
+	Push(pq.Item)
+	Pop() (pq.Item, bool)
+	Min() (pq.Item, bool)
+	Len() int
+}
+
+type subqueue struct {
+	mu   sync.Mutex
+	heap SubHeap
+	min  atomic.Uint64 // cached minimum key; emptyKey when empty
+	_    [5]uint64     // pad to a cache line to avoid false sharing of locks
+}
+
+func (s *subqueue) updateMin() {
+	if it, ok := s.heap.Min(); ok {
+		s.min.Store(it.Key)
+	} else {
+		s.min.Store(emptyKey)
+	}
+}
+
+// Queue is a MultiQueue with a fixed set of sub-queues.
+type Queue struct {
+	qs   []subqueue
+	c    int
+	p    int
+	seed atomic.Uint64
+}
+
+var _ pq.Queue = (*Queue)(nil)
+
+// New returns a MultiQueue with c·p sub-queues (c <= 0 selects DefaultC,
+// p < 1 is treated as 1), each backed by a binary heap as in the paper.
+func New(c, p int) *Queue {
+	return NewWith(c, p, nil)
+}
+
+// NewWith is New with an explicit sub-heap factory (nil selects the binary
+// heap). Used by the d-ary sub-heap ablation.
+func NewWith(c, p int, mkHeap func() SubHeap) *Queue {
+	if c <= 0 {
+		c = DefaultC
+	}
+	if p < 1 {
+		p = 1
+	}
+	if mkHeap == nil {
+		mkHeap = func() SubHeap { return &seqheap.Heap{} }
+	}
+	n := c * p
+	q := &Queue{qs: make([]subqueue, n), c: c, p: p}
+	for i := range q.qs {
+		q.qs[i].heap = mkHeap()
+		q.qs[i].min.Store(emptyKey)
+	}
+	return q
+}
+
+// Name implements pq.Queue.
+func (q *Queue) Name() string { return "multiq" }
+
+// C returns the queues-per-thread factor.
+func (q *Queue) C() int { return q.c }
+
+// P returns the thread-count parameter.
+func (q *Queue) P() int { return q.p }
+
+// NumQueues returns the number of sub-queues (c·p).
+func (q *Queue) NumQueues() int { return len(q.qs) }
+
+// Handle implements pq.Queue.
+func (q *Queue) Handle() pq.Handle {
+	return &Handle{q: q, rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15))}
+}
+
+// Handle is a per-goroutine handle carrying the queue-selection RNG.
+type Handle struct {
+	q   *Queue
+	rng *rng.Xoroshiro
+}
+
+var _ pq.Handle = (*Handle)(nil)
+var _ pq.Peeker = (*Handle)(nil)
+
+// Insert implements pq.Handle: push to a uniformly random sub-queue,
+// acquired by try-lock so a busy queue redirects the insert elsewhere.
+func (h *Handle) Insert(key, value uint64) {
+	q := h.q
+	n := uint64(len(q.qs))
+	for {
+		s := &q.qs[h.rng.Uintn(n)]
+		if s.mu.TryLock() {
+			s.heap.Push(pq.Item{Key: key, Value: value})
+			s.updateMin()
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// DeleteMin implements pq.Handle: sample two distinct random sub-queues,
+// lock the one whose cached minimum is smaller and pop it. If the chosen
+// queue turned out empty (raced), resample; a full sweep over all
+// sub-queues decides emptiness.
+func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
+	q := h.q
+	n := uint64(len(q.qs))
+	for attempt := 0; attempt < 3*len(q.qs); attempt++ {
+		i := h.rng.Uintn(n)
+		j := h.rng.Uintn(n)
+		if n > 1 {
+			for j == i {
+				j = h.rng.Uintn(n)
+			}
+		}
+		mi, mj := q.qs[i].min.Load(), q.qs[j].min.Load()
+		pick := i
+		if mj < mi {
+			pick, mi = j, mj
+		}
+		if mi == emptyKey {
+			continue // both sampled queues look empty; resample
+		}
+		s := &q.qs[pick]
+		if !s.mu.TryLock() {
+			continue
+		}
+		it, popped := s.heap.Pop()
+		if popped {
+			s.updateMin()
+		}
+		s.mu.Unlock()
+		if popped {
+			return it.Key, it.Value, true
+		}
+	}
+	return h.sweep()
+}
+
+// sweep scans every sub-queue once under its lock; it is the emptiness
+// oracle and the last resort when sampling keeps missing.
+func (h *Handle) sweep() (key, value uint64, ok bool) {
+	q := h.q
+	for i := range q.qs {
+		s := &q.qs[i]
+		s.mu.Lock()
+		it, popped := s.heap.Pop()
+		if popped {
+			s.updateMin()
+		}
+		s.mu.Unlock()
+		if popped {
+			return it.Key, it.Value, true
+		}
+	}
+	return 0, 0, false
+}
+
+// PeekMin reports the smallest cached minimum across sub-queues
+// (approximate under concurrency).
+func (h *Handle) PeekMin() (key, value uint64, ok bool) {
+	q := h.q
+	best := uint64(emptyKey)
+	bestIdx := -1
+	for i := range q.qs {
+		if m := q.qs[i].min.Load(); m < best {
+			best, bestIdx = m, i
+		}
+	}
+	if bestIdx < 0 {
+		return 0, 0, false
+	}
+	s := &q.qs[bestIdx]
+	s.mu.Lock()
+	it, found := s.heap.Min()
+	s.mu.Unlock()
+	if !found {
+		return 0, 0, false
+	}
+	return it.Key, it.Value, true
+}
+
+// Len sums the sizes of all sub-queues under their locks. Tests only.
+func (q *Queue) Len() int {
+	total := 0
+	for i := range q.qs {
+		q.qs[i].mu.Lock()
+		total += q.qs[i].heap.Len()
+		q.qs[i].mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,250 @@
+// Package ostree implements a sequential order-statistic treap keyed by
+// (key, id) pairs. The quality benchmark replays the reconstructed linear
+// operation history against this structure: each logged delete_min is looked
+// up by its unique id, and its rank — "the position of the item within the
+// priority queue as it is deleted" — is the number of items currently in the
+// structure with a strictly smaller key. Reporting the strict-key rank makes
+// the benchmark pessimistic in the presence of duplicate keys, exactly as
+// the paper describes for its own quality benchmark.
+//
+// All operations are O(log n) expected: the treap uses the id as a hashed
+// priority source, so the structure needs no external RNG and a given
+// history always replays to the same tree shape.
+package ostree
+
+// Tree is an order-statistic treap. The zero value is an empty tree.
+// Not safe for concurrent use; the quality replay is sequential by design.
+type Tree struct {
+	root *node
+	free *node // simple freelist to reduce allocation churn during replay
+}
+
+type node struct {
+	key   uint64
+	id    uint64
+	prio  uint64
+	size  int
+	left  *node
+	right *node
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() { n.size = 1 + size(n.left) + size(n.right) }
+
+// less orders nodes by (key, id); ids are unique, so the order is total.
+func less(k1, id1, k2, id2 uint64) bool {
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return id1 < id2
+}
+
+// prioOf derives a treap priority from the unique id (splitmix64 finalizer).
+func prioOf(id uint64) uint64 {
+	z := id + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len reports the number of items in the tree.
+func (t *Tree) Len() int { return size(t.root) }
+
+// Insert adds an item with the given key and unique id. Inserting an id that
+// is already present corrupts rank accounting; the quality logger guarantees
+// uniqueness by construction (a global sequence number).
+func (t *Tree) Insert(key, id uint64) {
+	n := t.alloc(key, id)
+	t.root = insert(t.root, n)
+}
+
+func insert(root, n *node) *node {
+	if root == nil {
+		n.update()
+		return n
+	}
+	if n.prio > root.prio {
+		// n becomes the new subtree root: split root's subtree around n.
+		l, r := split(root, n.key, n.id)
+		n.left, n.right = l, r
+		n.update()
+		return n
+	}
+	if less(n.key, n.id, root.key, root.id) {
+		root.left = insert(root.left, n)
+	} else {
+		root.right = insert(root.right, n)
+	}
+	root.update()
+	return root
+}
+
+// split partitions root into (< (key,id), >= (key,id)).
+func split(root *node, key, id uint64) (l, r *node) {
+	if root == nil {
+		return nil, nil
+	}
+	if less(root.key, root.id, key, id) {
+		l1, r1 := split(root.right, key, id)
+		root.right = l1
+		root.update()
+		return root, r1
+	}
+	l1, r1 := split(root.left, key, id)
+	root.left = r1
+	root.update()
+	return l1, root
+}
+
+// Delete removes the item with the given key and id. It returns the item's
+// rank at the moment of deletion — the number of items with a strictly
+// smaller key — and whether the item was found.
+func (t *Tree) Delete(key, id uint64) (rank int, ok bool) {
+	rank, ok = t.rankStrict(key)
+	if !ok && t.root == nil {
+		return 0, false
+	}
+	var removed *node
+	t.root, removed = remove(t.root, key, id)
+	if removed == nil {
+		return 0, false
+	}
+	t.release(removed)
+	return rank, true
+}
+
+// rankStrict returns the number of items with key strictly smaller than key.
+// ok is false only when the tree is empty.
+func (t *Tree) rankStrict(key uint64) (int, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	rank := 0
+	n := t.root
+	for n != nil {
+		if n.key < key {
+			rank += size(n.left) + 1
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return rank, true
+}
+
+// Rank returns the number of items with key strictly smaller than key.
+func (t *Tree) Rank(key uint64) int {
+	r, _ := t.rankStrict(key)
+	return r
+}
+
+// Contains reports whether an item with (key, id) is present.
+func (t *Tree) Contains(key, id uint64) bool {
+	n := t.root
+	for n != nil {
+		if n.key == key && n.id == id {
+			return true
+		}
+		if less(key, id, n.key, n.id) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return false
+}
+
+// Min returns the smallest (key, id) pair in the tree.
+func (t *Tree) Min() (key, id uint64, ok bool) {
+	n := t.root
+	if n == nil {
+		return 0, 0, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.id, true
+}
+
+// Kth returns the k-th smallest item (0-based) by (key, id) order.
+func (t *Tree) Kth(k int) (key, id uint64, ok bool) {
+	n := t.root
+	if k < 0 || k >= size(n) {
+		return 0, 0, false
+	}
+	for {
+		ls := size(n.left)
+		switch {
+		case k < ls:
+			n = n.left
+		case k == ls:
+			return n.key, n.id, true
+		default:
+			k -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// remove deletes the node matching (key, id) and returns the new root and
+// the removed node (nil if absent).
+func remove(root *node, key, id uint64) (*node, *node) {
+	if root == nil {
+		return nil, nil
+	}
+	if root.key == key && root.id == id {
+		merged := merge(root.left, root.right)
+		root.left, root.right = nil, nil
+		return merged, root
+	}
+	var removed *node
+	if less(key, id, root.key, root.id) {
+		root.left, removed = remove(root.left, key, id)
+	} else {
+		root.right, removed = remove(root.right, key, id)
+	}
+	root.update()
+	return root, removed
+}
+
+// merge joins two treaps where every item of l precedes every item of r.
+func merge(l, r *node) *node {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio > r.prio {
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	}
+	r.left = merge(l, r.left)
+	r.update()
+	return r
+}
+
+func (t *Tree) alloc(key, id uint64) *node {
+	n := t.free
+	if n != nil {
+		t.free = n.right
+		*n = node{}
+	} else {
+		n = &node{}
+	}
+	n.key, n.id, n.prio, n.size = key, id, prioOf(id), 1
+	return n
+}
+
+func (t *Tree) release(n *node) {
+	n.left = nil
+	n.right = t.free
+	t.free = n
+}

@@ -1,0 +1,248 @@
+package ostree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cpq/internal/rng"
+)
+
+// oracle is a naive reference implementation against which the treap is
+// property-tested.
+type oracle struct {
+	items []struct{ key, id uint64 }
+}
+
+func (o *oracle) insert(key, id uint64) {
+	o.items = append(o.items, struct{ key, id uint64 }{key, id})
+}
+
+func (o *oracle) delete(key, id uint64) (int, bool) {
+	idx := -1
+	rank := 0
+	for i, it := range o.items {
+		if it.key < key {
+			rank++
+		}
+		if it.key == key && it.id == id {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	o.items = append(o.items[:idx], o.items[idx+1:]...)
+	return rank, true
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("empty tree Len != 0")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty returned ok")
+	}
+	if _, ok := tr.Delete(1, 1); ok {
+		t.Fatal("Delete on empty returned ok")
+	}
+	if _, _, ok := tr.Kth(0); ok {
+		t.Fatal("Kth on empty returned ok")
+	}
+}
+
+func TestInsertDeleteBasic(t *testing.T) {
+	var tr Tree
+	tr.Insert(5, 1)
+	tr.Insert(3, 2)
+	tr.Insert(7, 3)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if k, id, ok := tr.Min(); !ok || k != 3 || id != 2 {
+		t.Fatalf("Min = %d,%d,%v", k, id, ok)
+	}
+	// Deleting the min: zero smaller keys.
+	if rank, ok := tr.Delete(3, 2); !ok || rank != 0 {
+		t.Fatalf("Delete(3) rank=%d ok=%v", rank, ok)
+	}
+	// Deleting 7 with 5 still present: rank 1.
+	if rank, ok := tr.Delete(7, 3); !ok || rank != 1 {
+		t.Fatalf("Delete(7) rank=%d ok=%v", rank, ok)
+	}
+	if rank, ok := tr.Delete(5, 1); !ok || rank != 0 {
+		t.Fatalf("Delete(5) rank=%d ok=%v", rank, ok)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after drain", tr.Len())
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	var tr Tree
+	tr.Insert(1, 1)
+	if _, ok := tr.Delete(2, 2); ok {
+		t.Fatal("deleting absent item returned ok")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("failed delete changed Len")
+	}
+}
+
+func TestDuplicateKeysPessimisticRank(t *testing.T) {
+	// Three items with the same key: strict-rank of any of them is 0 when
+	// all share the minimum, regardless of id — the "pessimistic" handling
+	// means equal keys do NOT count toward the rank.
+	var tr Tree
+	tr.Insert(9, 1)
+	tr.Insert(9, 2)
+	tr.Insert(9, 3)
+	tr.Insert(4, 4)
+	if rank, ok := tr.Delete(9, 2); !ok || rank != 1 {
+		t.Fatalf("rank of dup key = %d ok=%v, want 1 (only key 4 smaller)", rank, ok)
+	}
+}
+
+func TestContains(t *testing.T) {
+	var tr Tree
+	tr.Insert(10, 100)
+	tr.Insert(10, 101)
+	if !tr.Contains(10, 100) || !tr.Contains(10, 101) {
+		t.Fatal("Contains missed present item")
+	}
+	if tr.Contains(10, 102) || tr.Contains(11, 100) {
+		t.Fatal("Contains found absent item")
+	}
+}
+
+func TestKthEnumeratesSorted(t *testing.T) {
+	var tr Tree
+	r := rng.New(3)
+	type kv struct{ key, id uint64 }
+	var all []kv
+	for i := 0; i < 500; i++ {
+		k := r.Uint64() % 50
+		all = append(all, kv{k, uint64(i)})
+		tr.Insert(k, uint64(i))
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].key != all[j].key {
+			return all[i].key < all[j].key
+		}
+		return all[i].id < all[j].id
+	})
+	for i, want := range all {
+		k, id, ok := tr.Kth(i)
+		if !ok || k != want.key || id != want.id {
+			t.Fatalf("Kth(%d) = %d,%d,%v want %d,%d", i, k, id, ok, want.key, want.id)
+		}
+	}
+	if _, _, ok := tr.Kth(len(all)); ok {
+		t.Fatal("Kth past end returned ok")
+	}
+}
+
+func TestRank(t *testing.T) {
+	var tr Tree
+	for i := uint64(0); i < 10; i++ {
+		tr.Insert(i*10, i)
+	}
+	if r := tr.Rank(0); r != 0 {
+		t.Fatalf("Rank(0) = %d", r)
+	}
+	if r := tr.Rank(55); r != 6 {
+		t.Fatalf("Rank(55) = %d", r)
+	}
+	if r := tr.Rank(1000); r != 10 {
+		t.Fatalf("Rank(1000) = %d", r)
+	}
+}
+
+func TestMatchesOracleProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, opsRaw []uint16) bool {
+		var tr Tree
+		var or oracle
+		r := rng.New(seed)
+		nextID := uint64(1)
+		live := []struct{ key, id uint64 }{}
+		for _, raw := range opsRaw {
+			if raw%3 != 0 || len(live) == 0 {
+				key := uint64(raw) % 64
+				id := nextID
+				nextID++
+				tr.Insert(key, id)
+				or.insert(key, id)
+				live = append(live, struct{ key, id uint64 }{key, id})
+			} else {
+				pick := r.Intn(len(live))
+				it := live[pick]
+				live = append(live[:pick], live[pick+1:]...)
+				gotRank, gotOK := tr.Delete(it.key, it.id)
+				wantRank, wantOK := or.delete(it.key, it.id)
+				if gotOK != wantOK || gotRank != wantRank {
+					return false
+				}
+			}
+			if tr.Len() != len(or.items) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreelistReuse(t *testing.T) {
+	var tr Tree
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 1000; i++ {
+			tr.Insert(i, i+uint64(round)*1000)
+		}
+		for i := uint64(0); i < 1000; i++ {
+			if _, ok := tr.Delete(i, i+uint64(round)*1000); !ok {
+				t.Fatalf("round %d: lost item %d", round, i)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("round %d: Len = %d", round, tr.Len())
+		}
+	}
+}
+
+func TestLargeSequentialDeleteMinOrder(t *testing.T) {
+	// Replaying a strict priority queue: deleting the Min repeatedly must
+	// always report rank 0.
+	var tr Tree
+	r := rng.New(9)
+	for i := uint64(0); i < 5000; i++ {
+		tr.Insert(r.Uint64()%1000, i)
+	}
+	for tr.Len() > 0 {
+		k, id, _ := tr.Min()
+		rank, ok := tr.Delete(k, id)
+		if !ok || rank != 0 {
+			t.Fatalf("min delete rank = %d ok=%v", rank, ok)
+		}
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	var tr Tree
+	r := rng.New(1)
+	ids := make([]uint64, 0, 1<<16)
+	keys := make([]uint64, 0, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		k := r.Uint64()
+		tr.Insert(k, i)
+		ids = append(ids, i)
+		keys = append(keys, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & (1<<16 - 1)
+		tr.Delete(keys[j], ids[j])
+		tr.Insert(keys[j], ids[j])
+	}
+}

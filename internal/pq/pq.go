@@ -1,0 +1,46 @@
+// Package pq defines the common interface implemented by every concurrent
+// priority queue in the suite. The benchmark harness, quality harness and
+// the public cpq package all program against these two interfaces.
+//
+// All queues in the paper support exactly two operations on key-value
+// pairs: insert and delete_min. Neither decrease_key nor meld is supported
+// by any of the compared structures (Appendix A), and the suite follows
+// that contract.
+package pq
+
+// Item is a key-value pair stored in a priority queue. Smaller keys have
+// higher priority. The paper benchmarks integer keys; values are opaque
+// payloads carried alongside.
+type Item struct {
+	Key   uint64
+	Value uint64
+}
+
+// Handle is a per-goroutine access handle to a queue. Several of the
+// structures keep thread-local state (the k-LSM's distributed component,
+// per-thread random number generators for MultiQueue and SprayList), which
+// lives in the Handle. A Handle must not be shared between goroutines;
+// obtaining any number of Handles from one Queue is cheap and safe.
+type Handle interface {
+	// Insert adds a key-value pair to the queue.
+	Insert(key, value uint64)
+	// DeleteMin removes and returns an item with a smallest key — exactly
+	// the smallest for strict queues, one of the kP (or similar) smallest
+	// for relaxed queues. ok is false if the queue appeared empty.
+	DeleteMin() (key, value uint64, ok bool)
+}
+
+// Queue is a concurrent priority queue instance.
+type Queue interface {
+	// Name returns the benchmark identifier of the implementation,
+	// e.g. "klsm4096", "linden", "multiq".
+	Name() string
+	// Handle returns a new per-goroutine handle.
+	Handle() Handle
+}
+
+// Peeker is implemented by queues whose handles can report (but not remove)
+// a current minimum candidate; used by examples and tests.
+type Peeker interface {
+	PeekMin() (key, value uint64, ok bool)
+}

@@ -1,0 +1,211 @@
+// Package quality implements the paper's rank-error benchmark: "the rank of
+// an item is its position within the priority queue as it is deleted". All
+// operations are logged; the log is turned into a linear history; a
+// sequential order-statistics structure replays the history and reports the
+// rank of every deleted item. A strict queue scores rank 0 everywhere;
+// relaxed queues are characterized by the distribution of ranks, which the
+// paper reports as mean ± standard deviation per thread count.
+//
+// Where the paper reconstructs the linear order from logged timestamps,
+// this implementation stamps each operation with a global atomic sequence
+// number: inserts are stamped immediately BEFORE taking effect and
+// deletions immediately AFTER returning, so for any single item the insert
+// always precedes its deletion in the reconstructed history. Like the
+// paper's own benchmark, the reconstruction is pessimistic — concurrent
+// operations may be ordered adversely and duplicate keys inflate ranks —
+// so reported ranks are upper bounds on the semantic error.
+package quality
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cpq/internal/keys"
+	"cpq/internal/ostree"
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+	"cpq/internal/stats"
+	"cpq/internal/workload"
+)
+
+// Config describes one rank-error benchmark cell.
+type Config struct {
+	// NewQueue constructs the queue under test for a given thread count.
+	NewQueue func(threads int) pq.Queue
+	// Threads is the number of worker goroutines.
+	Threads int
+	// OpsPerThread is the number of operations each worker performs during
+	// the measured phase (the quality benchmark is op-count-bounded so the
+	// log has a known size).
+	OpsPerThread int
+	// Workload and KeyDist mirror the throughput benchmark's parameters.
+	Workload workload.Kind
+	KeyDist  keys.Distribution
+	// Prefill items are inserted (and logged) before measurement;
+	// negative selects 10^6 as in the throughput benchmark. Quality runs
+	// typically use a smaller prefill so replay time stays reasonable.
+	Prefill int
+	// InsertFrac as in the throughput harness (0 → 0.5).
+	InsertFrac float64
+	// BatchSize as in the throughput harness (Alternating workload only).
+	BatchSize int
+	// Seed for reproducibility (0 → fixed default).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+	if c.OpsPerThread <= 0 {
+		c.OpsPerThread = 100_000
+	}
+	if c.Prefill < 0 {
+		c.Prefill = 1_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x9e3779b97f4a7c15
+	}
+	return c
+}
+
+// event is one logged operation.
+type event struct {
+	seq uint64 // global order stamp
+	id  uint64 // unique item identity (assigned at insert)
+	key uint64
+	del bool
+}
+
+// Result summarizes the rank errors of one run.
+type Result struct {
+	// Deletions is the number of successful delete_min operations replayed.
+	Deletions uint64
+	// MeanRank and StddevRank summarize the rank distribution
+	// (rank 0 = exact minimum).
+	MeanRank   float64
+	StddevRank float64
+	// MaxRank is the worst rank observed.
+	MaxRank int
+	// Histogram counts ranks in power-of-two buckets: bucket i counts
+	// ranks in [2^(i-1), 2^i) with bucket 0 counting rank 0... rank 1.
+	Histogram []uint64
+}
+
+// Run executes one rank-error benchmark run and replays its log.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	q := cfg.NewQueue(cfg.Threads)
+
+	var seq atomic.Uint64
+	var nextID atomic.Uint64
+
+	// Prefill, logged.
+	prefillEvents := make([]event, 0, cfg.Prefill)
+	{
+		h := q.Handle()
+		r := rng.New(cfg.Seed ^ 0xd1b54a32d192ed03)
+		gen := keys.NewGenerator(cfg.KeyDist, r)
+		for i := 0; i < cfg.Prefill; i++ {
+			k := gen.Next()
+			id := nextID.Add(1)
+			prefillEvents = append(prefillEvents, event{seq: seq.Add(1), id: id, key: k})
+			h.Insert(k, id)
+		}
+	}
+
+	// Measured phase.
+	logs := make([][]event, cfg.Threads)
+	var start = make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(cfg.Seed + uint64(w)*0x6a09e667f3bcc909)
+			gen := keys.NewGenerator(cfg.KeyDist, r)
+			policy := workload.ForWorkerBatched(cfg.Workload, w, cfg.Threads, cfg.InsertFrac, cfg.BatchSize, r)
+			local := make([]event, 0, cfg.OpsPerThread)
+			<-start
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				if policy.Next() == workload.Insert {
+					k := gen.Next()
+					id := nextID.Add(1)
+					// Stamp BEFORE the insert takes effect.
+					local = append(local, event{seq: seq.Add(1), id: id, key: k})
+					h.Insert(k, id)
+				} else {
+					k, id, ok := h.DeleteMin()
+					if ok {
+						gen.Observe(k)
+						// Stamp AFTER the delete returned.
+						local = append(local, event{seq: seq.Add(1), id: id, key: k, del: true})
+					}
+				}
+			}
+			logs[w] = local
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	// Merge into a single linear history ordered by stamp.
+	all := prefillEvents
+	for _, l := range logs {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+
+	return Replay(all)
+}
+
+// Replay runs a linear history against the order-statistics tree and
+// aggregates the rank of every deletion.
+func Replay(history []event) Result {
+	var tree ostree.Tree
+	var acc stats.Welford
+	res := Result{Histogram: make([]uint64, 1)}
+	for _, e := range history {
+		if !e.del {
+			tree.Insert(e.key, e.id)
+			continue
+		}
+		rank, ok := tree.Delete(e.key, e.id)
+		if !ok {
+			// The item is missing from the replay tree. With the stamping
+			// discipline this cannot happen for a correct queue; count it
+			// as a worst-case observation rather than silently dropping.
+			continue
+		}
+		res.Deletions++
+		acc.Add(float64(rank))
+		if rank > res.MaxRank {
+			res.MaxRank = rank
+		}
+		b := bucketOf(rank)
+		for len(res.Histogram) <= b {
+			res.Histogram = append(res.Histogram, 0)
+		}
+		res.Histogram[b]++
+	}
+	res.MeanRank = acc.Mean()
+	res.StddevRank = acc.Stddev()
+	return res
+}
+
+// bucketOf maps a rank to its histogram bucket: 0→0, 1→1, 2..3→2, 4..7→3...
+func bucketOf(rank int) int {
+	b := 0
+	for rank > 0 {
+		rank >>= 1
+		b++
+	}
+	return b
+}
+
+// MakeEvent builds a log event; exported for tests of Replay.
+func MakeEvent(seq, id, key uint64, del bool) event {
+	return event{seq: seq, id: id, key: key, del: del}
+}

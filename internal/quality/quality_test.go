@@ -1,0 +1,131 @@
+package quality
+
+import (
+	"testing"
+
+	"cpq/internal/keys"
+	"cpq/internal/pq"
+	"cpq/internal/seqheap"
+	"cpq/internal/workload"
+)
+
+func glFactory(threads int) pq.Queue { return seqheap.NewGlobalLock() }
+
+func TestReplayStrictHistory(t *testing.T) {
+	// insert 3 (id1), insert 1 (id2), delete 1, insert 2 (id3), delete 2,
+	// delete 3 — a strict queue: all ranks 0.
+	hist := []event{
+		MakeEvent(1, 1, 3, false),
+		MakeEvent(2, 2, 1, false),
+		MakeEvent(3, 2, 1, true),
+		MakeEvent(4, 3, 2, false),
+		MakeEvent(5, 3, 2, true),
+		MakeEvent(6, 1, 3, true),
+	}
+	res := Replay(hist)
+	if res.Deletions != 3 {
+		t.Fatalf("replayed %d deletions", res.Deletions)
+	}
+	if res.MeanRank != 0 || res.MaxRank != 0 {
+		t.Fatalf("strict history scored mean=%v max=%d", res.MeanRank, res.MaxRank)
+	}
+	if res.Histogram[0] != 3 {
+		t.Fatalf("histogram: %v", res.Histogram)
+	}
+}
+
+func TestReplayRelaxedHistory(t *testing.T) {
+	// Items 1,2,3 inserted; delete 3 first (rank 2), then 1 (rank 0),
+	// then 2 (rank 0).
+	hist := []event{
+		MakeEvent(1, 1, 1, false),
+		MakeEvent(2, 2, 2, false),
+		MakeEvent(3, 3, 3, false),
+		MakeEvent(4, 3, 3, true),
+		MakeEvent(5, 1, 1, true),
+		MakeEvent(6, 2, 2, true),
+	}
+	res := Replay(hist)
+	if res.Deletions != 3 {
+		t.Fatalf("deletions = %d", res.Deletions)
+	}
+	if res.MaxRank != 2 {
+		t.Fatalf("max rank = %d, want 2", res.MaxRank)
+	}
+	wantMean := 2.0 / 3.0
+	if diff := res.MeanRank - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean rank = %v, want %v", res.MeanRank, wantMean)
+	}
+}
+
+func TestReplayDuplicateKeysPessimistic(t *testing.T) {
+	// Two items with equal keys; deleting either scores rank 0 (strictly
+	// smaller keys only), per the pessimistic duplicate handling.
+	hist := []event{
+		MakeEvent(1, 1, 5, false),
+		MakeEvent(2, 2, 5, false),
+		MakeEvent(3, 2, 5, true),
+		MakeEvent(4, 1, 5, true),
+	}
+	res := Replay(hist)
+	if res.MeanRank != 0 {
+		t.Fatalf("duplicate-key rank = %v", res.MeanRank)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 1023: 10, 1024: 11}
+	for rank, want := range cases {
+		if got := bucketOf(rank); got != want {
+			t.Fatalf("bucketOf(%d) = %d, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestRunStrictQueueScoresZeroSingleThread(t *testing.T) {
+	res := Run(Config{
+		NewQueue:     glFactory,
+		Threads:      1,
+		OpsPerThread: 5000,
+		Workload:     workload.Uniform,
+		KeyDist:      keys.Uniform32,
+		Prefill:      2000,
+		Seed:         7,
+	})
+	if res.Deletions == 0 {
+		t.Fatal("no deletions replayed")
+	}
+	if res.MeanRank != 0 {
+		t.Fatalf("single-threaded strict queue scored mean rank %v", res.MeanRank)
+	}
+}
+
+func TestRunStrictQueueLowRankMultiThread(t *testing.T) {
+	// A global-lock queue is strict; even with the pessimistic stamping,
+	// concurrent ranks should stay tiny (bounded by in-flight ops).
+	res := Run(Config{
+		NewQueue:     glFactory,
+		Threads:      4,
+		OpsPerThread: 5000,
+		Workload:     workload.Uniform,
+		KeyDist:      keys.Uniform32,
+		Prefill:      2000,
+		Seed:         11,
+	})
+	if res.Deletions == 0 {
+		t.Fatal("no deletions replayed")
+	}
+	if res.MeanRank > 8 {
+		t.Fatalf("strict queue scored mean rank %v under stamping pessimism", res.MeanRank)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Threads != 1 || c.OpsPerThread != 100_000 || c.Seed == 0 {
+		t.Fatalf("withDefaults: %+v", c)
+	}
+	if (Config{Prefill: -1}).withDefaults().Prefill != 1_000_000 {
+		t.Fatal("negative prefill did not select default")
+	}
+}

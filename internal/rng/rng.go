@@ -1,0 +1,126 @@
+// Package rng provides small, fast pseudo-random number generators used by
+// the queue implementations and the benchmark harness.
+//
+// The benchmark harness gives every worker its own generator so that random
+// key generation and random queue selection never contend on shared state.
+// We use xoroshiro128** (Blackman & Vigna) seeded via splitmix64, the same
+// family used by the paper's C++ benchmark code. The generators implement
+// only what the suite needs: 64-bit words, bounded uniform integers and
+// bounded uniform integers computed without division on the fast path.
+package rng
+
+import "sync/atomic"
+
+// SplitMix64 advances the state *s and returns the next output of the
+// splitmix64 sequence. It is used to expand a single 64-bit seed into the
+// larger state of other generators, and is a fine generator on its own for
+// non-critical uses.
+func SplitMix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoroshiro is a xoroshiro128** generator. The zero value is invalid; use
+// New or Seed before drawing numbers.
+type Xoroshiro struct {
+	s0, s1 uint64
+}
+
+// globalSeed makes New return distinct streams when called without an
+// explicit seed (e.g. one call per worker goroutine).
+var globalSeed atomic.Uint64
+
+// New returns a generator seeded from seed. Distinct seeds yield
+// (practically) non-overlapping streams thanks to splitmix64 expansion.
+func New(seed uint64) *Xoroshiro {
+	var r Xoroshiro
+	r.Seed(seed)
+	return &r
+}
+
+// NewAuto returns a generator with a process-unique seed. Useful when the
+// caller has no natural seed, such as short-lived example programs.
+func NewAuto() *Xoroshiro {
+	return New(globalSeed.Add(0x9e3779b97f4a7c15))
+}
+
+// Seed resets the generator state deterministically from seed.
+func (r *Xoroshiro) Seed(seed uint64) {
+	sm := seed
+	r.s0 = SplitMix64(&sm)
+	r.s1 = SplitMix64(&sm)
+	if r.s0 == 0 && r.s1 == 0 {
+		// xoroshiro must not be seeded with the all-zero state.
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64-bit output.
+func (r *Xoroshiro) Uint64() uint64 {
+	s0, s1 := r.s0, r.s1
+	res := rotl(s0*5, 7) * 9
+	s1 ^= s0
+	r.s0 = rotl(s0, 24) ^ s1 ^ (s1 << 16)
+	r.s1 = rotl(s1, 37)
+	return res
+}
+
+// Uint32 returns the next 32-bit output (the high half of Uint64, which has
+// the better-distributed bits for this family).
+func (r *Xoroshiro) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Uintn returns a uniform integer in [0, n). n must be > 0.
+// It uses Lemire's multiply-shift reduction: a single multiplication on the
+// fast path, with a rejection loop only in the (rare) biased region.
+func (r *Xoroshiro) Uintn(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uintn with n == 0")
+	}
+	// Fast path for powers of two: pure mask.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	v := r.Uint64()
+	hi, lo := mul64(v, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0 and fit in int.
+func (r *Xoroshiro) Intn(n int) int {
+	return int(r.Uintn(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Xoroshiro) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns an unbiased random boolean.
+func (r *Xoroshiro) Bool() bool { return r.Uint64()&1 == 1 }
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+// Equivalent to math/bits.Mul64 but written out so the package stays free of
+// non-essential imports.
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return
+}

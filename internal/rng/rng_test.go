@@ -1,0 +1,195 @@
+package rng
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs for seed 0 from the canonical splitmix64
+	// implementation by Sebastiano Vigna.
+	s := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&s); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct seeds produced %d equal outputs out of 1000", same)
+	}
+}
+
+func TestNewAutoDistinct(t *testing.T) {
+	a, b := NewAuto(), NewAuto()
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("NewAuto generators produced identical streams")
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	var orAll uint64
+	for i := 0; i < 100; i++ {
+		orAll |= r.Uint64()
+	}
+	if orAll == 0 {
+		t.Fatal("zero seed produced a stuck all-zero stream")
+	}
+}
+
+func TestUintnRange(t *testing.T) {
+	r := New(7)
+	if err := quick.Check(func(n uint64) bool {
+		n = n%1000 + 1 // 1..1000
+		v := r.Uintn(n)
+		return v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintnPowerOfTwoRange(t *testing.T) {
+	r := New(9)
+	for _, n := range []uint64{1, 2, 4, 1024, 1 << 32, 1 << 63} {
+		for i := 0; i < 100; i++ {
+			if v := r.Uintn(n); v >= n {
+				t.Fatalf("Uintn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUintnOne(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		if v := r.Uintn(1); v != 0 {
+			t.Fatalf("Uintn(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestUintnZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uintn(0) did not panic")
+		}
+	}()
+	New(1).Uintn(0)
+}
+
+func TestUintnUniformity(t *testing.T) {
+	// Chi-squared test over 16 buckets; loose threshold, deterministic seed.
+	r := New(12345)
+	const buckets = 16
+	const draws = 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uintn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.9th percentile is ~37.7.
+	if chi2 > 40 {
+		t.Fatalf("chi-squared = %.2f, distribution looks non-uniform: %v", chi2, counts)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	for i := 1; i < 100; i++ {
+		v := r.Intn(i)
+		if v < 0 || v >= i {
+			t.Fatalf("Intn(%d) = %d out of range", i, v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(13)
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < n*45/100 || trues > n*55/100 {
+		t.Fatalf("Bool() returned true %d/%d times", trues, n)
+	}
+}
+
+func TestMul64MatchesBitsMul64(t *testing.T) {
+	if err := quick.Check(func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		hi2, lo2 := bits.Mul64(x, y)
+		return lo == lo2 && hi == hi2
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUintn(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uintn(1000)
+	}
+	_ = sink
+}

@@ -1,0 +1,105 @@
+package seqheap
+
+import "cpq/internal/pq"
+
+// DHeap is a sequential d-ary min-heap. Wider heaps trade deeper sift-downs
+// for better cache behaviour on the hot insert path — the classic
+// engineering result of Larkin, Sen and Tarjan's "Back-to-Basics Empirical
+// Study of Priority Queues", which the paper cites as the sorting-style
+// benchmark its batch parameter approximates. The suite uses DHeap for the
+// MultiQueue sub-queue ablation (binary vs. 4-ary sub-heaps).
+//
+// The zero value is not usable; construct with NewDHeap. Not safe for
+// concurrent use.
+type DHeap struct {
+	d int
+	a []pq.Item
+}
+
+// NewDHeap returns an empty d-ary heap (d < 2 selects d = 4).
+func NewDHeap(d, capacity int) *DHeap {
+	if d < 2 {
+		d = 4
+	}
+	return &DHeap{d: d, a: make([]pq.Item, 0, capacity)}
+}
+
+// Arity returns d.
+func (h *DHeap) Arity() int { return h.d }
+
+// Len reports the number of items.
+func (h *DHeap) Len() int { return len(h.a) }
+
+// Push inserts an item.
+func (h *DHeap) Push(it pq.Item) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / h.d
+		if h.a[parent].Key <= it.Key {
+			break
+		}
+		h.a[i] = h.a[parent]
+		i = parent
+	}
+	h.a[i] = it
+}
+
+// Min returns the minimum without removing it.
+func (h *DHeap) Min() (pq.Item, bool) {
+	if len(h.a) == 0 {
+		return pq.Item{}, false
+	}
+	return h.a[0], true
+}
+
+// Pop removes and returns the minimum item.
+func (h *DHeap) Pop() (pq.Item, bool) {
+	n := len(h.a)
+	if n == 0 {
+		return pq.Item{}, false
+	}
+	min := h.a[0]
+	last := h.a[n-1]
+	h.a = h.a[:n-1]
+	n--
+	if n > 0 {
+		i := 0
+		for {
+			first := i*h.d + 1
+			if first >= n {
+				break
+			}
+			least := first
+			end := first + h.d
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if h.a[c].Key < h.a[least].Key {
+					least = c
+				}
+			}
+			if last.Key <= h.a[least].Key {
+				break
+			}
+			h.a[i] = h.a[least]
+			i = least
+		}
+		h.a[i] = last
+	}
+	return min, true
+}
+
+// Clear empties the heap, retaining capacity.
+func (h *DHeap) Clear() { h.a = h.a[:0] }
+
+// invariantOK reports whether the d-ary heap property holds (tests).
+func (h *DHeap) invariantOK() bool {
+	for i := 1; i < len(h.a); i++ {
+		if h.a[(i-1)/h.d].Key > h.a[i].Key {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package seqheap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+)
+
+func TestDHeapDefaults(t *testing.T) {
+	h := NewDHeap(0, 16)
+	if h.Arity() != 4 {
+		t.Fatalf("default arity = %d", h.Arity())
+	}
+	if h.Len() != 0 {
+		t.Fatal("fresh heap not empty")
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+	if _, ok := h.Min(); ok {
+		t.Fatal("Min on empty returned ok")
+	}
+}
+
+func TestDHeapSortsAllArities(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 8} {
+		h := NewDHeap(d, 0)
+		r := rng.New(uint64(d))
+		const n = 3000
+		want := make([]uint64, n)
+		for i := range want {
+			k := r.Uint64() % 500
+			want[i] = k
+			h.Push(pq.Item{Key: k, Value: k})
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := 0; i < n; i++ {
+			it, ok := h.Pop()
+			if !ok || it.Key != want[i] {
+				t.Fatalf("d=%d: pop %d = %d/%v, want %d", d, i, it.Key, ok, want[i])
+			}
+		}
+	}
+}
+
+func TestDHeapInvariantProperty(t *testing.T) {
+	if err := quick.Check(func(keys []uint16, arity uint8, popEvery uint8) bool {
+		d := int(arity%7) + 2
+		h := NewDHeap(d, 0)
+		interval := int(popEvery%5) + 1
+		for i, k := range keys {
+			h.Push(pq.Item{Key: uint64(k)})
+			if i%interval == 0 {
+				h.Pop()
+			}
+			if !h.invariantOK() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDHeapMatchesBinaryHeap(t *testing.T) {
+	if err := quick.Check(func(keys []uint16) bool {
+		var bin Heap
+		dh := NewDHeap(4, 0)
+		for _, k := range keys {
+			bin.Push(pq.Item{Key: uint64(k)})
+			dh.Push(pq.Item{Key: uint64(k)})
+		}
+		for bin.Len() > 0 {
+			a, _ := bin.Pop()
+			b, ok := dh.Pop()
+			if !ok || a.Key != b.Key {
+				return false
+			}
+		}
+		_, ok := dh.Pop()
+		return !ok
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDHeapClear(t *testing.T) {
+	h := NewDHeap(4, 4)
+	h.Push(pq.Item{Key: 3})
+	h.Clear()
+	if h.Len() != 0 {
+		t.Fatal("Clear left items")
+	}
+	h.Push(pq.Item{Key: 1})
+	if it, ok := h.Pop(); !ok || it.Key != 1 {
+		t.Fatal("heap unusable after Clear")
+	}
+}
+
+func BenchmarkDHeap4PushPop(b *testing.B) {
+	h := NewDHeap(4, 2048)
+	r := rng.New(1)
+	for i := 0; i < 1024; i++ {
+		h.Push(pq.Item{Key: r.Uint64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(pq.Item{Key: r.Uint64()})
+		h.Pop()
+	}
+}

@@ -1,0 +1,199 @@
+package seqheap
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+)
+
+func TestHeapEmpty(t *testing.T) {
+	var h Heap
+	if h.Len() != 0 {
+		t.Fatal("zero heap not empty")
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+	if _, ok := h.Min(); ok {
+		t.Fatal("Min on empty returned ok")
+	}
+}
+
+func TestHeapSortsRandomInput(t *testing.T) {
+	r := rng.New(1)
+	h := NewHeap(0)
+	const n = 5000
+	want := make([]uint64, n)
+	for i := range want {
+		k := r.Uint64() % 1000 // force duplicates
+		want[i] = k
+		h.Push(pq.Item{Key: k, Value: uint64(i)})
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < n; i++ {
+		it, ok := h.Pop()
+		if !ok {
+			t.Fatalf("heap empty after %d pops, want %d", i, n)
+		}
+		if it.Key != want[i] {
+			t.Fatalf("pop %d = key %d, want %d", i, it.Key, want[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestHeapMinMatchesPop(t *testing.T) {
+	r := rng.New(2)
+	var h Heap
+	for i := 0; i < 1000; i++ {
+		h.Push(pq.Item{Key: r.Uint64() % 100})
+	}
+	for h.Len() > 0 {
+		m, _ := h.Min()
+		p, _ := h.Pop()
+		if m != p {
+			t.Fatalf("Min %v != Pop %v", m, p)
+		}
+	}
+}
+
+func TestHeapInvariantProperty(t *testing.T) {
+	if err := quick.Check(func(keys []uint16, popEvery uint8) bool {
+		var h Heap
+		interval := int(popEvery%7) + 1
+		for i, k := range keys {
+			h.Push(pq.Item{Key: uint64(k), Value: uint64(i)})
+			if i%interval == 0 {
+				h.Pop()
+			}
+			if !h.invariantOK() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapClear(t *testing.T) {
+	var h Heap
+	h.Push(pq.Item{Key: 1})
+	h.Clear()
+	if h.Len() != 0 {
+		t.Fatal("Clear did not empty heap")
+	}
+	h.Push(pq.Item{Key: 2})
+	if it, ok := h.Pop(); !ok || it.Key != 2 {
+		t.Fatal("heap unusable after Clear")
+	}
+}
+
+func TestHeapValuesTravelWithKeys(t *testing.T) {
+	var h Heap
+	h.Push(pq.Item{Key: 10, Value: 100})
+	h.Push(pq.Item{Key: 5, Value: 50})
+	h.Push(pq.Item{Key: 7, Value: 70})
+	it, _ := h.Pop()
+	if it.Key != 5 || it.Value != 50 {
+		t.Fatalf("got %+v", it)
+	}
+}
+
+func TestGlobalLockSequential(t *testing.T) {
+	q := NewGlobalLock()
+	if q.Name() != "globallock" {
+		t.Fatalf("name = %q", q.Name())
+	}
+	h := q.Handle()
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty queue returned ok")
+	}
+	h.Insert(3, 30)
+	h.Insert(1, 10)
+	h.Insert(2, 20)
+	if k, v, ok := q.PeekMin(); !ok || k != 1 || v != 10 {
+		t.Fatalf("PeekMin = %d,%d,%v", k, v, ok)
+	}
+	for want := uint64(1); want <= 3; want++ {
+		k, v, ok := h.DeleteMin()
+		if !ok || k != want || v != want*10 {
+			t.Fatalf("DeleteMin = %d,%d,%v want key %d", k, v, ok, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestGlobalLockStrictOrderUnderConcurrency(t *testing.T) {
+	// GlobalLock must never lose or duplicate items, and a post-hoc drain
+	// must produce exactly the inserted multiset.
+	q := NewGlobalLock()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	inserted := make([][]uint64, workers)
+	deleted := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			r := rng.New(uint64(w) + 1)
+			for i := 0; i < perWorker; i++ {
+				k := r.Uint64() % 10000
+				h.Insert(k, k)
+				inserted[w] = append(inserted[w], k)
+				if i%2 == 1 {
+					if k, _, ok := h.DeleteMin(); ok {
+						deleted[w] = append(deleted[w], k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all, out []uint64
+	for w := 0; w < workers; w++ {
+		all = append(all, inserted[w]...)
+		out = append(out, deleted[w]...)
+	}
+	h := q.Handle()
+	for {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		out = append(out, k)
+	}
+	if len(out) != len(all) {
+		t.Fatalf("drained %d items, inserted %d", len(out), len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for i := range all {
+		if all[i] != out[i] {
+			t.Fatalf("multiset mismatch at %d: %d vs %d", i, all[i], out[i])
+		}
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	var h Heap
+	r := rng.New(1)
+	for i := 0; i < 1024; i++ {
+		h.Push(pq.Item{Key: r.Uint64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(pq.Item{Key: r.Uint64()})
+		h.Pop()
+	}
+}

@@ -1,0 +1,115 @@
+package skiplist
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLoadRefSnapshot(t *testing.T) {
+	l := New()
+	a := l.Insert(1, 1, 1)
+	r := a.LoadRef(0)
+	if r.Node() != nil || r.Marked() {
+		t.Fatalf("fresh node ref = (%v, %v)", r.Node(), r.Marked())
+	}
+	hr := l.Head().LoadRef(0)
+	if hr.Node() != a || hr.Marked() {
+		t.Fatal("head ref does not point at the inserted node")
+	}
+}
+
+func TestCASRefValidatesExactSnapshot(t *testing.T) {
+	l := New()
+	a := l.Insert(10, 0, 1)
+	snap := l.Head().LoadRef(0)
+	// Change the pointer cell (insert a smaller node), then try to CAS with
+	// the stale snapshot: must fail even though the logical target (a) could
+	// be re-observed — Ref validates physical identity, not value equality.
+	b := l.Insert(5, 0, 1)
+	if l.Head().CASRef(0, snap, a, false) {
+		t.Fatal("stale snapshot CAS succeeded")
+	}
+	// A fresh snapshot works.
+	fresh := l.Head().LoadRef(0)
+	if fresh.Node() != b {
+		t.Fatalf("head now points at %v", fresh.Node())
+	}
+	if !l.Head().CASRef(0, fresh, b, false) {
+		t.Fatal("fresh snapshot CAS failed")
+	}
+}
+
+func TestCASRefABAImmunity(t *testing.T) {
+	// Even if the cell is restored to point at the same node, an old
+	// snapshot must not CAS successfully (reference cells are never reused).
+	l := New()
+	a := l.Insert(10, 0, 1)
+	snap := l.Head().LoadRef(0)
+	b := l.Insert(5, 0, 1) // head -> b -> a
+	b.MarkTower()
+	l.Unlink(b) // head -> a again: same logical value as snap
+	now := l.Head().LoadRef(0)
+	if now.Node() != a {
+		t.Fatalf("expected head->a after unlink, got %v", now.Node())
+	}
+	if l.Head().CASRef(0, snap, nil, false) {
+		t.Fatal("ABA: stale snapshot CAS succeeded after value restoration")
+	}
+	if !l.Head().CASRef(0, now, a, false) {
+		t.Fatal("current snapshot CAS failed")
+	}
+}
+
+func TestNewNodeUnlinked(t *testing.T) {
+	n := NewNode(7, 70, 3)
+	if n.Key != 7 || n.Value != 70 || n.Height() != 3 {
+		t.Fatalf("node = %+v", n)
+	}
+	for level := 0; level < MaxHeight; level++ {
+		if succ, marked := n.Next(level); succ != nil || marked {
+			t.Fatalf("level %d not nil/unmarked", level)
+		}
+	}
+}
+
+func TestSetNextOnPrivateNode(t *testing.T) {
+	a := NewNode(1, 0, 2)
+	b := NewNode(2, 0, 2)
+	a.SetNext(0, b, false)
+	a.SetNext(1, b, true)
+	if s, m := a.Next(0); s != b || m {
+		t.Fatal("SetNext level 0 wrong")
+	}
+	if s, m := a.Next(1); s != b || !m {
+		t.Fatal("SetNext level 1 wrong")
+	}
+}
+
+func TestConcurrentCASRefSingleWinner(t *testing.T) {
+	l := New()
+	l.Insert(10, 0, 1)
+	snap := l.Head().LoadRef(0)
+	const goroutines = 16
+	wins := make(chan bool, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := NewNode(uint64(i), 0, 1)
+			n.SetNext(0, snap.Node(), false)
+			wins <- l.Head().CASRef(0, snap, n, false)
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	winners := 0
+	for w := range wins {
+		if w {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d CASRef winners from one snapshot, want 1", winners)
+	}
+}

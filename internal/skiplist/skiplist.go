@@ -1,0 +1,336 @@
+// Package skiplist implements the lock-free skiplist substrate shared by the
+// Lindén-Jonsson queue, the SprayList and the Shavit-Lotan queue.
+//
+// The design follows Harris/Michael and Fraser: a node is deleted by first
+// marking its forward pointers (which freezes them) and then swinging the
+// predecessor's pointer past it; traversals help complete pending unlinks.
+// C and C++ implementations store the mark in a pointer tag bit. Go has no
+// tag bits and hand-packing pointers into uintptrs would hide them from the
+// garbage collector, so a forward pointer is an immutable reference cell
+//
+//	type ref struct { node *Node; marked bool }
+//
+// swapped atomically via atomic.Pointer[ref]. A CAS that expects an unmarked
+// cell fails exactly when a C++ CAS expecting an untagged pointer would fail,
+// so the algorithms' race behaviour is preserved; the cost is one small
+// allocation per link update, reclaimed by the GC (which also replaces the
+// epoch-based reclamation of the original codebases).
+//
+// The list is a multiset ordered by key: duplicate keys are allowed and are
+// exercised hard by the benchmark's 8-bit key distribution.
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"cpq/internal/rng"
+)
+
+// MaxHeight is the maximum tower height. 2^24 expected items per level-0
+// node at the top level comfortably covers the benchmark's prefill plus
+// growth.
+const MaxHeight = 24
+
+// Node is a skiplist node. Key and Value are immutable after insertion.
+// The Claimed flag supports queues that delete logically before unlinking
+// (Shavit-Lotan, SprayList); the Lindén-Jonsson queue instead uses the
+// level-0 mark itself as the deletion flag.
+type Node struct {
+	Key     uint64
+	Value   uint64
+	claimed atomic.Bool
+	height  int32
+	next    [MaxHeight]atomic.Pointer[ref]
+}
+
+// ref is an immutable (successor, mark) pair; see the package comment.
+type ref struct {
+	node   *Node
+	marked bool
+}
+
+// interned unmarked ref to nil, used to initialise towers cheaply.
+var nilRef = &ref{}
+
+// Height returns the tower height of the node (1..MaxHeight).
+func (n *Node) Height() int { return int(n.height) }
+
+// Next returns the successor and mark of n at the given level.
+func (n *Node) Next(level int) (succ *Node, marked bool) {
+	r := n.next[level].Load()
+	return r.node, r.marked
+}
+
+// Ref is an opaque snapshot of a forward pointer. A CAS that passes a Ref
+// succeeds only if the pointer cell is physically unchanged since the Ref
+// was loaded (reference cells are never reused, so there is no ABA): this
+// gives callers validated link updates, which the Lindén-Jonsson insert
+// path relies on to splice in front of a dead prefix without re-scanning.
+type Ref struct{ r *ref }
+
+// LoadRef atomically snapshots n's forward pointer at level.
+func (n *Node) LoadRef(level int) Ref { return Ref{n.next[level].Load()} }
+
+// Node returns the successor recorded in the snapshot.
+func (r Ref) Node() *Node { return r.r.node }
+
+// Marked reports the mark recorded in the snapshot.
+func (r Ref) Marked() bool { return r.r.marked }
+
+// CASRef replaces n's forward pointer at level with (succ, marked), provided
+// it is still exactly the snapshot old.
+func (n *Node) CASRef(level int, old Ref, succ *Node, marked bool) bool {
+	return n.next[level].CompareAndSwap(old.r, &ref{node: succ, marked: marked})
+}
+
+// SetNext unconditionally stores (succ, marked) into n's forward pointer at
+// level. Only valid while n is thread-private (during node construction).
+func (n *Node) SetNext(level int, succ *Node, marked bool) {
+	n.next[level].Store(&ref{node: succ, marked: marked})
+}
+
+// NewNode allocates an unlinked node with the given tower height for queue
+// algorithms that perform their own linking (Lindén-Jonsson insert).
+func NewNode(key, value uint64, height int) *Node {
+	n := &Node{Key: key, Value: value, height: int32(height)}
+	for i := range n.next {
+		n.next[i].Store(nilRef)
+	}
+	return n
+}
+
+// CASNext replaces n's forward pointer at level from (oldSucc, oldMarked) to
+// (newSucc, newMarked). It is the raw CAS used by the queue algorithms.
+func (n *Node) CASNext(level int, oldSucc *Node, oldMarked bool, newSucc *Node, newMarked bool) bool {
+	old := n.next[level].Load()
+	if old.node != oldSucc || old.marked != oldMarked {
+		return false
+	}
+	return n.next[level].CompareAndSwap(old, &ref{node: newSucc, marked: newMarked})
+}
+
+// TryMarkNext marks n's forward pointer at level, expecting successor succ.
+// Marking level 0 logically deletes the node in the Lindén-Jonsson scheme.
+func (n *Node) TryMarkNext(level int, succ *Node) bool {
+	return n.CASNext(level, succ, false, succ, true)
+}
+
+// MarkTower marks every level of n's tower top-down (idempotent). After
+// MarkTower returns, no new node can ever be linked after n, so traversals
+// can safely unlink it at every level.
+func (n *Node) MarkTower() {
+	for level := int(n.height) - 1; level >= 0; level-- {
+		for {
+			r := n.next[level].Load()
+			if r.marked {
+				break
+			}
+			if n.next[level].CompareAndSwap(r, &ref{node: r.node, marked: true}) {
+				break
+			}
+		}
+	}
+}
+
+// TryClaim atomically claims the node for logical deletion. Only one caller
+// ever wins the claim of a given node.
+func (n *Node) TryClaim() bool { return n.claimed.CompareAndSwap(false, true) }
+
+// IsClaimed reports whether the node has been logically deleted via claim.
+func (n *Node) IsClaimed() bool { return n.claimed.Load() }
+
+// DeletedAt0 reports whether the node's level-0 forward pointer is marked,
+// i.e. the node is logically deleted in the Lindén-Jonsson sense.
+func (n *Node) DeletedAt0() bool {
+	return n.next[0].Load().marked
+}
+
+// List is a lock-free skiplist multiset.
+type List struct {
+	head *Node
+}
+
+// New returns an empty list.
+func New() *List {
+	h := &Node{height: MaxHeight}
+	for i := range h.next {
+		h.next[i].Store(nilRef)
+	}
+	return &List{head: h}
+}
+
+// Head returns the head sentinel. Its key is meaningless and it is never
+// deleted; queue algorithms start their scans from it.
+func (l *List) Head() *Node { return l.head }
+
+// RandomHeight draws a tower height from the geometric(1/2) distribution
+// capped at MaxHeight, using the caller's generator.
+func RandomHeight(r *rng.Xoroshiro) int {
+	h := 1
+	// Each bit of a 64-bit word is an unbiased coin.
+	bits := r.Uint64()
+	for h < MaxHeight && bits&1 == 1 {
+		h++
+		bits >>= 1
+	}
+	return h
+}
+
+// Find locates the insertion window for key: preds[i] is the last node at
+// level i with key strictly smaller than key (or the head), succs[i] the
+// node following it. Marked nodes encountered on the way are helped out of
+// the list (Harris-Michael physical deletion). The arrays must have length
+// MaxHeight.
+func (l *List) Find(key uint64, preds, succs *[MaxHeight]*Node) {
+retry:
+	for {
+		pred := l.head
+		for level := MaxHeight - 1; level >= 0; level-- {
+			curr, _ := pred.Next(level)
+			for curr != nil {
+				succ, marked := curr.Next(level)
+				for marked {
+					// curr is deleted at this level: unlink it.
+					if !pred.CASNext(level, curr, false, succ, false) {
+						continue retry
+					}
+					curr = succ
+					if curr == nil {
+						break
+					}
+					succ, marked = curr.Next(level)
+				}
+				if curr == nil || curr.Key >= key {
+					break
+				}
+				pred = curr
+				curr = succ
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		return
+	}
+}
+
+// FindNoHelp is like Find but never unlinks marked nodes; it simply skips
+// them. The Lindén-Jonsson delete path uses it so that logical deletions do
+// not immediately trigger physical restructuring (the batching that gives
+// that queue its low memory contention).
+func (l *List) FindNoHelp(key uint64, preds, succs *[MaxHeight]*Node) {
+	pred := l.head
+	for level := MaxHeight - 1; level >= 0; level-- {
+		curr, _ := pred.Next(level)
+		for curr != nil {
+			succ, marked := curr.Next(level)
+			if marked {
+				// Skip over the logically deleted node without helping.
+				curr = succ
+				continue
+			}
+			if curr.Key >= key {
+				break
+			}
+			pred = curr
+			curr = succ
+		}
+		preds[level] = pred
+		succs[level] = curr
+	}
+}
+
+// Insert links a new node with the given key, value and tower height and
+// returns it. Duplicate keys are allowed; the new node is placed before the
+// first existing node with an equal or larger key at level 0.
+//
+// The structure is the standard lock-free skiplist add (Fraser;
+// Herlihy & Shavit): link level 0 first (the linearization point), then
+// raise the tower level by level, refreshing the window with Find after a
+// failed CAS and abandoning the raise if the node is deleted concurrently.
+func (l *List) Insert(key, value uint64, height int) *Node {
+	n := &Node{Key: key, Value: value, height: int32(height)}
+	var preds, succs [MaxHeight]*Node
+	for {
+		l.Find(key, &preds, &succs)
+		// Prepare the whole tower, then link the bottom level; a successful
+		// bottom-level CAS makes the node logically present.
+		for i := 0; i < height; i++ {
+			n.next[i].Store(&ref{node: succs[i]})
+		}
+		for i := height; i < MaxHeight; i++ {
+			n.next[i].Store(nilRef)
+		}
+		if preds[0].CASNext(0, succs[0], false, n, false) {
+			break
+		}
+	}
+	// Raise the tower. Abandoning early is benign: the node remains
+	// findable through level 0, it just has a shorter effective tower.
+	for level := 1; level < height; level++ {
+		for {
+			r := n.next[level].Load()
+			if r.marked {
+				return n // node was deleted while being raised
+			}
+			if r.node != succs[level] {
+				if !n.next[level].CompareAndSwap(r, &ref{node: succs[level]}) {
+					return n // became marked meanwhile
+				}
+			}
+			if preds[level].CASNext(level, succs[level], false, n, false) {
+				break
+			}
+			l.Find(key, &preds, &succs)
+		}
+	}
+	return n
+}
+
+// Unlink physically removes a node whose tower has been fully marked
+// (MarkTower must have been called). It is implemented as a Find for the
+// node's key, which performs the actual unlinking as helping.
+func (l *List) Unlink(n *Node) {
+	var preds, succs [MaxHeight]*Node
+	l.Find(n.Key, &preds, &succs)
+}
+
+// FirstLive returns the first node at level 0 that is neither claimed nor
+// marked at level 0, or nil. Used by tests and by strict delete-min scans.
+func (l *List) FirstLive() *Node {
+	curr, _ := l.head.Next(0)
+	for curr != nil {
+		if !curr.IsClaimed() && !curr.DeletedAt0() {
+			return curr
+		}
+		curr, _ = curr.Next(0)
+	}
+	return nil
+}
+
+// CountLive walks level 0 and counts nodes that are neither claimed nor
+// level-0-marked. O(n); intended for tests and debugging only.
+func (l *List) CountLive() int {
+	n := 0
+	curr, _ := l.head.Next(0)
+	for curr != nil {
+		if !curr.IsClaimed() && !curr.DeletedAt0() {
+			n++
+		}
+		curr, _ = curr.Next(0)
+	}
+	return n
+}
+
+// CollectLive returns the (key, value) pairs of all live nodes in key order.
+// O(n); for tests and draining.
+func (l *List) CollectLive() (keys, values []uint64) {
+	curr, _ := l.head.Next(0)
+	for curr != nil {
+		if !curr.IsClaimed() && !curr.DeletedAt0() {
+			keys = append(keys, curr.Key)
+			values = append(values, curr.Value)
+		}
+		curr, _ = curr.Next(0)
+	}
+	return
+}

@@ -1,0 +1,79 @@
+package spray
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFallbackScanOnTinyQueue(t *testing.T) {
+	// A spray over a near-empty list constantly overshoots; the strict
+	// fallback scan must still find and claim the items.
+	q := New(64) // geometry tuned for 64 threads: jumps far beyond 3 items
+	h := q.Handle()
+	h.Insert(1, 10)
+	h.Insert(2, 20)
+	h.Insert(3, 30)
+	seen := map[uint64]bool{}
+	for i := 0; i < 3; i++ {
+		k, v, ok := h.DeleteMin()
+		if !ok {
+			t.Fatalf("lost item at %d", i)
+		}
+		if v != k*10 {
+			t.Fatalf("value mismatch %d/%d", k, v)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("claimed %d distinct items", len(seen))
+	}
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestSprayNeverReturnsHead(t *testing.T) {
+	// Spray landing on the head sentinel must not claim it.
+	q := New(2)
+	h := q.Handle()
+	for i := 0; i < 1000; i++ {
+		h.Insert(uint64(i)+100, 0)
+		if k, _, ok := h.DeleteMin(); !ok || k < 100 {
+			t.Fatalf("iteration %d returned %d/%v", i, k, ok)
+		}
+	}
+}
+
+func TestManySprayersDrainEverything(t *testing.T) {
+	const workers = 16 // more sprayers than items near the end
+	q := New(workers)
+	h := q.Handle()
+	const n = 4000
+	for k := uint64(0); k < n; k++ {
+		h.Insert(k, k)
+	}
+	var total sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := q.Handle()
+			for {
+				k, _, ok := h.DeleteMin()
+				if !ok {
+					return
+				}
+				if _, dup := total.LoadOrStore(k, true); dup {
+					panic("duplicate delete")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	count := 0
+	total.Range(func(any, any) bool { count++; return true })
+	if count != n {
+		t.Fatalf("drained %d of %d", count, n)
+	}
+}

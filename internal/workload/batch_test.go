@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+func TestBatchedAlternation(t *testing.T) {
+	for _, batch := range []int{1, 2, 16} {
+		p := ForWorkerBatched(Alternating, 0, 4, 0.5, batch, rng.New(1))
+		for round := 0; round < 5; round++ {
+			for i := 0; i < batch; i++ {
+				if op := p.Next(); op != Insert {
+					t.Fatalf("batch %d round %d pos %d: got %v, want Insert", batch, round, i, op)
+				}
+			}
+			for i := 0; i < batch; i++ {
+				if op := p.Next(); op != DeleteMin {
+					t.Fatalf("batch %d round %d pos %d: got %v, want DeleteMin", batch, round, i, op)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchDefaultsToOne(t *testing.T) {
+	a := ForWorker(Alternating, 0, 1, 0.5, rng.New(2))
+	b := ForWorkerBatched(Alternating, 0, 1, 0.5, 0, rng.New(2)) // 0 clamps to 1
+	for i := 0; i < 20; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("ForWorker and batch=1 policies differ")
+		}
+	}
+}
+
+func TestBatchIgnoredByOtherWorkloads(t *testing.T) {
+	// Split stays fixed regardless of batch.
+	p := ForWorkerBatched(Split, 1, 2, 0.5, 64, rng.New(3))
+	for i := 0; i < 10; i++ {
+		if p.Next() != DeleteMin {
+			t.Fatal("split deleter changed op under batch")
+		}
+	}
+	// Uniform still balances regardless of batch.
+	u := ForWorkerBatched(Uniform, 0, 2, 0.5, 64, rng.New(4))
+	ins := 0
+	for i := 0; i < 10000; i++ {
+		if u.Next() == Insert {
+			ins++
+		}
+	}
+	if ins < 4500 || ins > 5500 {
+		t.Fatalf("uniform inserted %d/10000 under batch", ins)
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick repro verify examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered check repro verify examples clean
 
 all: build vet test
 
@@ -18,6 +18,19 @@ test:
 # Full suite under the race detector (slow on small machines).
 race:
 	$(GO) test -race ./...
+
+# CI gate: vet + build everything, then the race-sensitive packages (the
+# engineered MultiQueue's buffer stealing and the quality replay) under the
+# race detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./internal/multiq/ ./internal/quality/
+
+# The engineered-MultiQueue acceptance bench (seed multiq vs. multiq-s4-b8
+# vs. klsm4096 at 8 threads); benchstat-comparable output.
+bench-engineered:
+	$(GO) test -bench=MultiQueueEngineered -benchtime=1s -count=3 .
 
 # Every paper figure/table as a testing.B bench, fixed op count for speed.
 bench-quick:

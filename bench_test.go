@@ -23,6 +23,7 @@ import (
 	"sync"
 	"testing"
 
+	"cpq/internal/cli"
 	"cpq/internal/harness"
 	"cpq/internal/keys"
 	"cpq/internal/pq"
@@ -237,6 +238,60 @@ func BenchmarkAblationMultiQueueSubHeap(b *testing.B) {
 		for _, p := range benchThreads {
 			b.Run(fmt.Sprintf("%s/t%d", tc.name, p), func(b *testing.B) {
 				benchThroughputCell(b, tc.mk, p, workload.Uniform, keys.Uniform32)
+			})
+		}
+	}
+}
+
+// --- Engineered MultiQueue (Williams-Sanders stickiness + buffers) -------
+
+// engineeredSet is the engineered-MultiQueue comparison set: the seed
+// MultiQueue, the engineered variant at the default tuning, and the paper's
+// strongest k-LSM.
+var engineeredSet = []string{"multiq", "multiq-s4-b8", "klsm4096"}
+
+// BenchmarkMultiQueueEngineered is the acceptance benchmark for the
+// engineered MultiQueue: the comparison set at 8 threads on the headline
+// cell (uniform workload, uniform 32-bit keys — figure 4a). Sub-benchmarks
+// are benchstat-comparable across queues via the reported MOps/s metric:
+//
+//	go test -bench=MultiQueueEngineered -benchtime=2s -count=5 | benchstat -
+func BenchmarkMultiQueueEngineered(b *testing.B) {
+	for _, name := range engineeredSet {
+		b.Run(fmt.Sprintf("%s/t8", name), func(b *testing.B) {
+			benchThroughputCell(b, factory(name), 8, workload.Uniform, keys.Uniform32)
+		})
+	}
+}
+
+// BenchmarkEngineeredGrid sweeps the engineered comparison set across the
+// paper's full workload × key-distribution grid (the cells of Figures 4
+// and 8), so the stickiness/buffering trade-off is visible beyond the
+// headline cell.
+func BenchmarkEngineeredGrid(b *testing.B) {
+	for _, cell := range cli.Figures() {
+		for _, name := range engineeredSet {
+			for _, p := range benchThreads {
+				b.Run(fmt.Sprintf("%s/%s/t%d", cell.ID, name, p), func(b *testing.B) {
+					benchThroughputCell(b, factory(name), p, cell.Workload, cell.KeyDist)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMultiQueueStickBuf sweeps the engineered variant's two
+// knobs independently on the headline cell: stickiness with buffering off,
+// buffering with stickiness off, and both combined.
+func BenchmarkAblationMultiQueueStickBuf(b *testing.B) {
+	for _, tc := range []struct{ s, bsz int }{
+		{1, 1}, {4, 1}, {8, 1}, {1, 8}, {1, 16}, {4, 8}, {8, 16},
+	} {
+		for _, p := range benchThreads {
+			b.Run(fmt.Sprintf("s%d-b%d/t%d", tc.s, tc.bsz, p), func(b *testing.B) {
+				benchThroughputCell(b, func(t int) pq.Queue {
+					return NewMultiQueueEngineered(4, t, tc.s, tc.bsz)
+				}, p, workload.Uniform, keys.Uniform32)
 			})
 		}
 	}

@@ -100,6 +100,18 @@ func NewMultiQueueDAry(c, p, d int) *multiq.Queue {
 	return multiq.NewWith(c, p, func() multiq.SubHeap { return seqheap.NewDHeap(d, 0) })
 }
 
+// NewMultiQueueEngineered returns the engineered MultiQueue of Williams and
+// Sanders ("Engineering MultiQueues", arXiv:2107.01350): the classic c·p
+// sub-queue layout extended with stickiness s (a handle reuses its last
+// sub-queue for up to s consecutive lock acquisitions before re-sampling)
+// and per-handle insertion/deletion buffers of b items (one lock
+// acquisition amortized over a batch of b operations). s <= 1 disables
+// stickiness, b <= 1 disables buffering; c <= 0 selects the paper's c = 4.
+// Registry identifiers look like "multiq-s4-b8" or "multiq-c8-s4-b8".
+func NewMultiQueueEngineered(c, p, s, b int) *multiq.Queue {
+	return multiq.NewEngineered(c, p, s, b)
+}
+
 // NewGlobalLock returns the baseline: a sequential binary heap protected by
 // a single global mutex.
 func NewGlobalLock() *seqheap.GlobalLock { return seqheap.NewGlobalLock() }
@@ -169,6 +181,12 @@ func New(name string, threads int) (Queue, error) {
 			return nil, fmt.Errorf("cpq: bad SLSM relaxation in %q", name)
 		}
 		return NewSLSM(k), nil
+	case strings.HasPrefix(n, "multiq-"):
+		c, s, b, err := parseMultiQSpec(n[len("multiq-"):])
+		if err != nil {
+			return nil, fmt.Errorf("cpq: %v in %q", err, name)
+		}
+		return NewMultiQueueEngineered(c, threads, s, b), nil
 	case strings.HasPrefix(n, "multiq"):
 		c, err := strconv.Atoi(n[len("multiq"):])
 		if err != nil || c < 1 {
@@ -179,6 +197,34 @@ func New(name string, threads int) (Queue, error) {
 	return nil, fmt.Errorf("cpq: unknown queue %q (known: %s)", name, strings.Join(Names(), ", "))
 }
 
+// parseMultiQSpec parses the dash-separated parameter list of an engineered
+// MultiQueue identifier, e.g. "s4-b8" or "c8-s4-b8" (from "multiq-s4-b8",
+// "multiq-c8-s4-b8"). Omitted parameters default to c = the paper's 4,
+// s = 1, b = 1 (extension off).
+func parseMultiQSpec(spec string) (c, s, b int, err error) {
+	c, s, b = multiq.DefaultC, 1, 1
+	for _, seg := range strings.Split(spec, "-") {
+		if len(seg) < 2 {
+			return 0, 0, 0, fmt.Errorf("bad MultiQueue parameter %q", seg)
+		}
+		v, convErr := strconv.Atoi(seg[1:])
+		if convErr != nil || v < 1 {
+			return 0, 0, 0, fmt.Errorf("bad MultiQueue parameter %q", seg)
+		}
+		switch seg[0] {
+		case 'c':
+			c = v
+		case 's':
+			s = v
+		case 'b':
+			b = v
+		default:
+			return 0, 0, 0, fmt.Errorf("bad MultiQueue parameter %q (want c<n>, s<n> or b<n>)", seg)
+		}
+	}
+	return c, s, b, nil
+}
+
 // Names lists the benchmark identifiers of the paper's seven compared
 // variants plus this suite's extensions, in the paper's display order.
 func Names() []string {
@@ -186,6 +232,7 @@ func Names() []string {
 		"klsm128", "klsm256", "klsm4096", // the paper's k-LSM variants
 		"linden", "spray", "multiq", "globallock", // the paper's comparisons
 		"lotan", "hunt", "mound", "cbpq", "locksl", "dlsm", "slsm256", // extensions (appendix D)
+		"multiq-s4-b8", // engineered MultiQueue (Williams-Sanders stickiness + buffers)
 	}
 }
 

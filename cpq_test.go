@@ -186,3 +186,61 @@ func TestEveryQueueConcurrentSmoke(t *testing.T) {
 		})
 	}
 }
+
+func TestRegistryEngineeredMultiQueue(t *testing.T) {
+	q, err := New("multiq-s4-b8", 4)
+	if err != nil || q.Name() != "multiq-s4-b8" {
+		t.Fatalf("multiq-s4-b8: %v, %v", q, err)
+	}
+	q, err = New("multiq-c8-s2-b4", 2)
+	if err != nil || q.Name() != "multiq-c8-s2-b4" {
+		t.Fatalf("multiq-c8-s2-b4: %v, %v", q, err)
+	}
+	// Partial specs default the omitted parameters (c=4, s=1, b=1).
+	q, err = New("multiq-b8", 1)
+	if err != nil || q.Name() != "multiq-s1-b8" {
+		t.Fatalf("multiq-b8: %v, %v", q, err)
+	}
+	for _, bad := range []string{"multiq-", "multiq-x4", "multiq-s0", "multiq-s", "multiq-s4-b8-z1"} {
+		if _, err := New(bad, 1); err == nil {
+			t.Fatalf("New(%q) accepted a bad engineered spec", bad)
+		}
+	}
+}
+
+// TestEngineeredMatchesSeedSemantics drains engineered and seed MultiQueues
+// loaded with the same items: both must return the same multiset.
+func TestEngineeredMatchesSeedSemantics(t *testing.T) {
+	seedQ, _ := New("multiq", 2)
+	engQ, _ := New("multiq-s4-b8", 2)
+	r := rng.New(99)
+	var keys []uint64
+	for i := 0; i < 3000; i++ {
+		keys = append(keys, r.Uint64()%5000)
+	}
+	drain := func(q Queue) []uint64 {
+		h := q.Handle()
+		for _, k := range keys {
+			h.Insert(k, k)
+		}
+		var out []uint64
+		for {
+			k, _, ok := h.DeleteMin()
+			if !ok {
+				break
+			}
+			out = append(out, k)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	a, b := drain(seedQ), drain(engQ)
+	if len(a) != len(keys) || len(b) != len(keys) {
+		t.Fatalf("drained %d/%d of %d", len(a), len(b), len(keys))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("multiset mismatch at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

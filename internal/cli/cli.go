@@ -121,6 +121,29 @@ func ParseList(s string) []string {
 	return out
 }
 
+// queueAliases maps -queues shorthands to queue lists: "paper" is the
+// paper's seven compared variants; "engineered" is the engineered-MultiQueue
+// comparison set (seed multiq vs. the Williams-Sanders engineered variant
+// vs. the paper's strongest k-LSM).
+var queueAliases = map[string][]string{
+	"paper":      {"klsm128", "klsm256", "klsm4096", "linden", "spray", "multiq", "globallock"},
+	"engineered": {"multiq", "multiq-s4-b8", "klsm4096"},
+}
+
+// ExpandQueues resolves alias entries ("paper", "engineered") in a queue
+// list to their member queues, passing every other name through unchanged.
+func ExpandQueues(names []string) []string {
+	var out []string
+	for _, n := range names {
+		if members, ok := queueAliases[strings.ToLower(n)]; ok {
+			out = append(out, members...)
+		} else {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // Table renders rows of cells as aligned plain text. The first row is the
 // header; columns are right-aligned except the first.
 type Table struct {

@@ -191,3 +191,22 @@ func TestTableCell(t *testing.T) {
 		t.Fatal("out-of-range Cell not empty")
 	}
 }
+
+func TestExpandQueues(t *testing.T) {
+	got := ExpandQueues([]string{"engineered", "linden"})
+	want := []string{"multiq", "multiq-s4-b8", "klsm4096", "linden"}
+	if len(got) != len(want) {
+		t.Fatalf("ExpandQueues = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpandQueues = %v, want %v", got, want)
+		}
+	}
+	if got := ExpandQueues([]string{"PAPER"}); len(got) != 7 {
+		t.Fatalf("paper alias expanded to %d queues, want 7", len(got))
+	}
+	if got := ExpandQueues([]string{"multiq"}); len(got) != 1 || got[0] != "multiq" {
+		t.Fatalf("plain name not passed through: %v", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cpq/internal/keys"
+	"cpq/internal/multiq"
 	"cpq/internal/pq"
 	"cpq/internal/seqheap"
 	"cpq/internal/workload"
@@ -143,5 +144,67 @@ func TestReproducibleSeeds(t *testing.T) {
 		if !ok1 {
 			break
 		}
+	}
+}
+
+// TestRunFlushesEngineeredHandles runs the engineered MultiQueue through
+// the throughput harness under the split workload, where the per-thread
+// counters give exact insert and delete counts: after the run every
+// operation must be accounted for in the queue (the workers' buffers were
+// flushed at phase end), and a single fresh handle must drain exactly
+// prefill + inserts - successful deletes items.
+func TestRunFlushesEngineeredHandles(t *testing.T) {
+	var captured *multiq.Queue
+	res := Run(Config{
+		NewQueue: func(threads int) pq.Queue {
+			captured = multiq.NewEngineered(2, threads, 4, 8)
+			return captured
+		},
+		Threads:  2, // split: worker 0 inserts only, worker 1 deletes only
+		Duration: 30 * time.Millisecond,
+		Workload: workload.Split,
+		KeyDist:  keys.Uniform32,
+		Prefill:  100,
+		Seed:     21,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	inserts := int(res.PerThread[0])
+	deletes := int(res.PerThread[1] - res.EmptyDeletes)
+	want := 100 + inserts - deletes
+	if got := captured.Len(); got != want {
+		t.Fatalf("queue holds %d items after run, want %d", got, want)
+	}
+	h := captured.Handle()
+	drained := 0
+	for {
+		if _, _, ok := h.DeleteMin(); !ok {
+			break
+		}
+		drained++
+	}
+	if drained != want {
+		t.Fatalf("drained %d items, want %d", drained, want)
+	}
+}
+
+// TestRunOpsEngineered smokes the latency mode over the engineered variant.
+func TestRunOpsEngineered(t *testing.T) {
+	res := RunOps(Config{
+		NewQueue: func(threads int) pq.Queue {
+			return multiq.NewEngineered(2, threads, 4, 8)
+		},
+		Threads:  2,
+		Workload: workload.Uniform,
+		KeyDist:  keys.Uniform32,
+		Prefill:  1000,
+		Seed:     22,
+	}, 2000)
+	if res.Ops != 4000 {
+		t.Fatalf("Ops = %d, want 4000", res.Ops)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP99 < res.LatencyP50 {
+		t.Fatalf("latency percentiles p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
 	}
 }

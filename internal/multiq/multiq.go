@@ -13,6 +13,9 @@
 //
 // Each sub-queue caches its current minimum key in an atomic word so
 // delete_min's comparison never takes locks it will not use.
+//
+// NewEngineered builds the engineered variant of Williams and Sanders
+// (stickiness + per-handle operation buffers); see engineered.go.
 package multiq
 
 import (
@@ -30,6 +33,11 @@ const DefaultC = 4
 
 // emptyKey is the cached-minimum sentinel for an empty sub-queue.
 const emptyKey = math.MaxUint64
+
+// insertTryLimit bounds the random try-lock attempts of an insert before it
+// falls back to a blocking Lock. Without the bound a handle can livelock
+// when c·p is small and every sub-queue stays contended.
+const insertTryLimit = 16
 
 // SubHeap is the sequential priority queue backing one sub-queue. The
 // paper uses std::priority_queue (a binary heap); the suite also provides
@@ -56,12 +64,21 @@ func (s *subqueue) updateMin() {
 	}
 }
 
-// Queue is a MultiQueue with a fixed set of sub-queues.
+// Queue is a MultiQueue with a fixed set of sub-queues. The engineered
+// variant (NewEngineered) additionally carries the stickiness and buffer
+// parameters and a registry of its buffered handles, which the emptiness
+// oracle (sweep), Len and PeekMin consult.
 type Queue struct {
-	qs   []subqueue
-	c    int
-	p    int
-	seed atomic.Uint64
+	qs    []subqueue
+	c     int
+	p     int
+	stick int    // sticky reuses per sub-queue selection (<=1: off)
+	buf   int    // per-handle insertion/deletion buffer size (<=1: off)
+	name  string // benchmark identifier, e.g. "multiq" or "multiq-s4-b8"
+	seed  atomic.Uint64
+
+	hmu     sync.Mutex
+	handles []*EHandle // buffered handles; append-only under hmu
 }
 
 var _ pq.Queue = (*Queue)(nil)
@@ -85,7 +102,7 @@ func NewWith(c, p int, mkHeap func() SubHeap) *Queue {
 		mkHeap = func() SubHeap { return &seqheap.Heap{} }
 	}
 	n := c * p
-	q := &Queue{qs: make([]subqueue, n), c: c, p: p}
+	q := &Queue{qs: make([]subqueue, n), c: c, p: p, stick: 1, buf: 1, name: "multiq"}
 	for i := range q.qs {
 		q.qs[i].heap = mkHeap()
 		q.qs[i].min.Store(emptyKey)
@@ -94,7 +111,7 @@ func NewWith(c, p int, mkHeap func() SubHeap) *Queue {
 }
 
 // Name implements pq.Queue.
-func (q *Queue) Name() string { return "multiq" }
+func (q *Queue) Name() string { return q.name }
 
 // C returns the queues-per-thread factor.
 func (q *Queue) C() int { return q.c }
@@ -105,9 +122,19 @@ func (q *Queue) P() int { return q.p }
 // NumQueues returns the number of sub-queues (c·p).
 func (q *Queue) NumQueues() int { return len(q.qs) }
 
-// Handle implements pq.Queue.
+// Handle implements pq.Queue. Engineered queues (stickiness or buffering
+// enabled) hand out buffered handles and register them so sweep/Len/PeekMin
+// can observe (and steal from) their buffers.
 func (q *Queue) Handle() pq.Handle {
-	return &Handle{q: q, rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15))}
+	r := rng.New(q.seed.Add(0x9e3779b97f4a7c15))
+	if q.stick > 1 || q.buf > 1 {
+		h := &EHandle{q: q, rng: r}
+		q.hmu.Lock()
+		q.handles = append(q.handles, h)
+		q.hmu.Unlock()
+		return h
+	}
+	return &Handle{q: q, rng: r}
 }
 
 // Handle is a per-goroutine handle carrying the queue-selection RNG.
@@ -120,19 +147,47 @@ var _ pq.Handle = (*Handle)(nil)
 var _ pq.Peeker = (*Handle)(nil)
 
 // Insert implements pq.Handle: push to a uniformly random sub-queue,
-// acquired by try-lock so a busy queue redirects the insert elsewhere.
+// acquired by try-lock so a busy queue redirects the insert elsewhere. The
+// try-lock attempts are bounded; past the bound the insert blocks on one
+// random sub-queue instead of spinning (a single contended handle must not
+// livelock when c·p is small).
 func (h *Handle) Insert(key, value uint64) {
 	q := h.q
 	n := uint64(len(q.qs))
-	for {
+	it := pq.Item{Key: key, Value: value}
+	for attempt := 0; attempt < insertTryLimit; attempt++ {
 		s := &q.qs[h.rng.Uintn(n)]
 		if s.mu.TryLock() {
-			s.heap.Push(pq.Item{Key: key, Value: value})
+			s.heap.Push(it)
 			s.updateMin()
 			s.mu.Unlock()
 			return
 		}
 	}
+	s := &q.qs[h.rng.Uintn(n)]
+	s.mu.Lock()
+	s.heap.Push(it)
+	s.updateMin()
+	s.mu.Unlock()
+}
+
+// sampleTwo draws two distinct uniform sub-queue indices (branch-free
+// distinct sampling: the second index is an independent uniform draw over
+// the n-1 queues that are not the first) and returns the index with the
+// smaller cached minimum along with that minimum (emptyKey when both
+// sampled queues look empty).
+func (q *Queue) sampleTwo(r *rng.Xoroshiro) (int, uint64) {
+	n := uint64(len(q.qs))
+	i := r.Uintn(n)
+	j := i
+	if n > 1 {
+		j = (i + 1 + r.Uintn(n-1)) % n
+	}
+	mi, mj := q.qs[i].min.Load(), q.qs[j].min.Load()
+	if mj < mi {
+		return int(j), mj
+	}
+	return int(i), mi
 }
 
 // DeleteMin implements pq.Handle: sample two distinct random sub-queues,
@@ -141,21 +196,9 @@ func (h *Handle) Insert(key, value uint64) {
 // sub-queues decides emptiness.
 func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 	q := h.q
-	n := uint64(len(q.qs))
 	for attempt := 0; attempt < 3*len(q.qs); attempt++ {
-		i := h.rng.Uintn(n)
-		j := h.rng.Uintn(n)
-		if n > 1 {
-			for j == i {
-				j = h.rng.Uintn(n)
-			}
-		}
-		mi, mj := q.qs[i].min.Load(), q.qs[j].min.Load()
-		pick := i
-		if mj < mi {
-			pick, mi = j, mj
-		}
-		if mi == emptyKey {
+		pick, min := q.sampleTwo(h.rng)
+		if min == emptyKey {
 			continue // both sampled queues look empty; resample
 		}
 		s := &q.qs[pick]
@@ -177,7 +220,13 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 // sweep scans every sub-queue once under its lock; it is the emptiness
 // oracle and the last resort when sampling keeps missing.
 func (h *Handle) sweep() (key, value uint64, ok bool) {
-	q := h.q
+	return h.q.sweepSubqueues()
+}
+
+// sweepSubqueues pops from the first non-empty sub-queue, scanning all of
+// them under their locks. It is pass one of the emptiness oracle; the
+// engineered variant follows it with a pass over the per-handle buffers.
+func (q *Queue) sweepSubqueues() (key, value uint64, ok bool) {
 	for i := range q.qs {
 		s := &q.qs[i]
 		s.mu.Lock()
@@ -217,7 +266,9 @@ func (h *Handle) PeekMin() (key, value uint64, ok bool) {
 	return it.Key, it.Value, true
 }
 
-// Len sums the sizes of all sub-queues under their locks. Tests only.
+// Len sums the sizes of all sub-queues under their locks, plus — for the
+// engineered variant — the contents of every handle's insertion and
+// deletion buffer (buffered items are still in the queue). Tests only.
 func (q *Queue) Len() int {
 	total := 0
 	for i := range q.qs {
@@ -225,5 +276,19 @@ func (q *Queue) Len() int {
 		total += q.qs[i].heap.Len()
 		q.qs[i].mu.Unlock()
 	}
+	for _, h := range q.snapshotHandles() {
+		h.mu.Lock()
+		total += len(h.ins) + len(h.del)
+		h.mu.Unlock()
+	}
 	return total
+}
+
+// snapshotHandles returns the current buffered-handle registry. The slice
+// is append-only, so the snapshot stays valid after hmu is released.
+func (q *Queue) snapshotHandles() []*EHandle {
+	q.hmu.Lock()
+	hs := q.handles
+	q.hmu.Unlock()
+	return hs
 }

@@ -70,6 +70,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// flushHandle publishes a handle's buffered operations if it has any.
+func flushHandle(h pq.Handle) {
+	if f, ok := h.(pq.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // event is one logged operation.
 type event struct {
 	seq uint64 // global order stamp
@@ -113,6 +120,7 @@ func Run(cfg Config) Result {
 			prefillEvents = append(prefillEvents, event{seq: seq.Add(1), id: id, key: k})
 			h.Insert(k, id)
 		}
+		flushHandle(h)
 	}
 
 	// Measured phase.
@@ -145,6 +153,12 @@ func Run(cfg Config) Result {
 					}
 				}
 			}
+			// Publish buffered operations (engineered MultiQueue) before the
+			// log is merged: items still sitting in a handle's buffers were
+			// logged as inserted but never deleted, and Flush returns them to
+			// the shared structure, so the replay neither loses nor
+			// duplicates items.
+			flushHandle(h)
 			logs[w] = local
 		}(w)
 	}

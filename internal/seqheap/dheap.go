@@ -94,6 +94,19 @@ func (h *DHeap) Pop() (pq.Item, bool) {
 // Clear empties the heap, retaining capacity.
 func (h *DHeap) Clear() { h.a = h.a[:0] }
 
+// PopN removes up to max smallest items, appending them to dst in ascending
+// key order, and returns the extended slice (see Heap.PopN).
+func (h *DHeap) PopN(dst []pq.Item, max int) []pq.Item {
+	for i := 0; i < max; i++ {
+		it, ok := h.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, it)
+	}
+	return dst
+}
+
 // invariantOK reports whether the d-ary heap property holds (tests).
 func (h *DHeap) invariantOK() bool {
 	for i := 1; i < len(h.a); i++ {

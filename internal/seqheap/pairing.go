@@ -61,6 +61,19 @@ func (h *PairingHeap) Clear() {
 	h.root, h.free, h.n = nil, nil, 0
 }
 
+// PopN removes up to max smallest items, appending them to dst in ascending
+// key order, and returns the extended slice (see Heap.PopN).
+func (h *PairingHeap) PopN(dst []pq.Item, max int) []pq.Item {
+	for i := 0; i < max; i++ {
+		it, ok := h.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, it)
+	}
+	return dst
+}
+
 // meldPair links two pairing-heap roots; the larger root becomes the
 // leftmost child of the smaller.
 func meldPair(a, b *pairNode) *pairNode {

@@ -62,6 +62,20 @@ func (h *Heap) Pop() (pq.Item, bool) {
 // Clear empties the heap, retaining capacity.
 func (h *Heap) Clear() { h.a = h.a[:0] }
 
+// PopN removes up to max smallest items, appending them to dst in ascending
+// key order, and returns the extended slice. The engineered MultiQueue uses
+// it to amortize one sub-queue lock acquisition over a deletion batch.
+func (h *Heap) PopN(dst []pq.Item, max int) []pq.Item {
+	for i := 0; i < max; i++ {
+		it, ok := h.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, it)
+	}
+	return dst
+}
+
 func (h *Heap) siftUp(i int) {
 	it := h.a[i]
 	for i > 0 {

@@ -197,3 +197,65 @@ func BenchmarkHeapPushPop(b *testing.B) {
 		h.Pop()
 	}
 }
+
+// TestPopN covers the batch-pop used by the engineered MultiQueue on every
+// sequential substrate: ascending order, partial batches, and reuse of dst.
+func TestPopN(t *testing.T) {
+	substrates := []struct {
+		name string
+		mk   func() interface {
+			Push(pq.Item)
+			PopN([]pq.Item, int) []pq.Item
+			Len() int
+		}
+	}{
+		{"binary", func() interface {
+			Push(pq.Item)
+			PopN([]pq.Item, int) []pq.Item
+			Len() int
+		} {
+			return &Heap{}
+		}},
+		{"4ary", func() interface {
+			Push(pq.Item)
+			PopN([]pq.Item, int) []pq.Item
+			Len() int
+		} {
+			return NewDHeap(4, 0)
+		}},
+		{"pairing", func() interface {
+			Push(pq.Item)
+			PopN([]pq.Item, int) []pq.Item
+			Len() int
+		} {
+			return &PairingHeap{}
+		}},
+	}
+	for _, sub := range substrates {
+		t.Run(sub.name, func(t *testing.T) {
+			h := sub.mk()
+			r := rng.New(17)
+			for i := 0; i < 100; i++ {
+				h.Push(pq.Item{Key: r.Uint64() % 1000, Value: uint64(i)})
+			}
+			got := h.PopN(nil, 10)
+			if len(got) != 10 || h.Len() != 90 {
+				t.Fatalf("PopN(10) returned %d items, %d remain", len(got), h.Len())
+			}
+			prev := uint64(0)
+			for i, it := range got {
+				if it.Key < prev {
+					t.Fatalf("batch not ascending at %d: %d < %d", i, it.Key, prev)
+				}
+				prev = it.Key
+			}
+			rest := h.PopN(got[:0], 1000) // oversized batch drains; dst reused
+			if len(rest) != 90 || h.Len() != 0 {
+				t.Fatalf("draining PopN returned %d items, %d remain", len(rest), h.Len())
+			}
+			if out := h.PopN(nil, 5); len(out) != 0 {
+				t.Fatalf("PopN on empty heap returned %d items", len(out))
+			}
+		})
+	}
+}

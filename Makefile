@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-engineered check repro verify examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm check repro verify examples clean
 
 all: build vet test
 
@@ -20,17 +20,23 @@ race:
 	$(GO) test -race ./...
 
 # CI gate: vet + build everything, then the race-sensitive packages (the
-# engineered MultiQueue's buffer stealing and the quality replay) under the
-# race detector.
+# engineered MultiQueue's buffer stealing, the k-LSM's pooled hot path with
+# spy/run-buffer stealing, and the quality replay) under the race detector.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/multiq/ ./internal/quality/
+	$(GO) test -race ./internal/core/ ./internal/multiq/ ./internal/quality/
 
 # The engineered-MultiQueue acceptance bench (seed multiq vs. multiq-s4-b8
 # vs. klsm4096 at 8 threads); benchstat-comparable output.
 bench-engineered:
-	$(GO) test -bench=MultiQueueEngineered -benchtime=1s -count=3 .
+	$(GO) test -bench=MultiQueueEngineered -benchmem -benchtime=1s -count=3 .
+
+# The k-LSM acceptance benches: the fig-4a uniform-workload cell at 8 threads
+# for klsm128/256/4096 plus the single-threaded insert+delete-min allocation
+# microbench; benchstat-comparable output, allocs/op via -benchmem.
+bench-klsm:
+	$(GO) test -bench='^BenchmarkKLSM' -benchmem -benchtime=1s -count=3 .
 
 # Every paper figure/table as a testing.B bench, fixed op count for speed.
 bench-quick:

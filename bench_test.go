@@ -297,6 +297,50 @@ func BenchmarkAblationMultiQueueStickBuf(b *testing.B) {
 	}
 }
 
+// --- k-LSM hot path (pooled blocks, scratch merges, pivot reuse) ---------
+
+// klsmSet is the k-LSM acceptance comparison set: the paper's three
+// relaxation settings on the headline cell.
+var klsmSet = []string{"klsm128", "klsm256", "klsm4096"}
+
+// BenchmarkKLSM is the acceptance benchmark for the allocation-lean k-LSM:
+// the paper's k sweep at 8 threads on the headline cell (uniform workload,
+// uniform 32-bit keys — figure 4a). Benchstat-comparable across commits:
+//
+//	go test -bench='^BenchmarkKLSM$' -benchmem -benchtime=1s -count=3 | benchstat -
+func BenchmarkKLSM(b *testing.B) {
+	for _, name := range klsmSet {
+		b.Run(fmt.Sprintf("%s/t8", name), func(b *testing.B) {
+			benchThroughputCell(b, factory(name), 8, workload.Uniform, keys.Uniform32)
+		})
+	}
+}
+
+// BenchmarkKLSMInsertDeleteMin is the single-threaded insert+delete-min
+// microbenchmark behind the allocs/op acceptance target: one handle
+// alternating Insert and DeleteMin at steady state, so the allocs/op column
+// (-benchmem) isolates the k-LSM's per-operation allocation behaviour from
+// scheduler and contention noise.
+func BenchmarkKLSMInsertDeleteMin(b *testing.B) {
+	for _, k := range []int{128, 4096} {
+		b.Run(fmt.Sprintf("klsm%d", k), func(b *testing.B) {
+			q := NewKLSM(k)
+			h := q.Handle()
+			r := rng.New(1)
+			for i := 0; i < 3*k; i++ { // reach steady state before measuring
+				h.Insert(r.Uint64()&0xffffffff, 0)
+				h.DeleteMin()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Insert(r.Uint64()&0xffffffff, 0)
+				h.DeleteMin()
+			}
+		})
+	}
+}
+
 // AblationExtensions covers the appendix-D extension queues on the
 // headline cell for completeness.
 func BenchmarkAblationExtensions(b *testing.B) {

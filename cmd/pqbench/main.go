@@ -12,10 +12,12 @@
 //	pqbench -workload split -keys ascending -threads 1,2,4,8 \
 //	        -queues klsm128,klsm256,klsm4096,linden,spray,multiq,globallock
 //
-// The -queues list accepts aliases: "paper" (the seven variants above) and
-// "engineered" (seed multiq vs. the engineered multiq-s4-b8 vs. klsm4096):
+// The -queues list accepts aliases: "paper" (the seven variants above),
+// "engineered" (seed multiq vs. the engineered multiq-s4-b8 vs. klsm4096)
+// and "klsm" (the paper's three relaxation settings):
 //
 //	pqbench -queues engineered -threads 8
+//	pqbench -queues klsm -threads 8
 //
 // The defaults use a short duration and few repetitions so a full sweep
 // stays laptop-friendly; the paper's setup corresponds to -duration 10s
@@ -42,7 +44,7 @@ func main() {
 		figure    = flag.String("figure", "", "paper figure to regenerate (1, 2, 3, 4a-4h, 8a-8c); overrides -workload/-keys")
 		workloadF = flag.String("workload", "uniform", "workload: uniform, split, alternating")
 		keysF     = flag.String("keys", "uniform32", "key distribution: uniform32, uniform16, uniform8, ascending, descending")
-		queuesF   = flag.String("queues", "", "comma-separated queue list; aliases: paper, engineered (default: the paper's seven variants)")
+		queuesF   = flag.String("queues", "", "comma-separated queue list; aliases: paper, engineered, klsm (default: the paper's seven variants)")
 		threadsF  = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 		duration  = flag.Duration("duration", time.Second, "measurement duration per run (paper: 10s)")
 		reps      = flag.Int("reps", 3, "repetitions per cell (paper: 10)")

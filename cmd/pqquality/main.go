@@ -26,7 +26,7 @@ func main() {
 		table     = flag.String("table", "", "paper table panel to regenerate (1, 2a-2h, 5a-5c); overrides -workload/-keys")
 		workloadF = flag.String("workload", "uniform", "workload: uniform, split, alternating")
 		keysF     = flag.String("keys", "uniform32", "key distribution: uniform32, uniform16, uniform8, ascending, descending")
-		queuesF   = flag.String("queues", "", "comma-separated queue list; aliases: paper, engineered (default: the paper's seven variants)")
+		queuesF   = flag.String("queues", "", "comma-separated queue list; aliases: paper, engineered, klsm (default: the paper's seven variants)")
 		threadsF  = flag.String("threads", "2,4,8", "comma-separated thread counts (paper: 2,4,8)")
 		ops       = flag.Int("ops", 50_000, "operations per thread in the measured phase")
 		prefill   = flag.Int("prefill", 100_000, "prefill size (quality runs replay the whole log; keep moderate)")

@@ -124,14 +124,17 @@ func ParseList(s string) []string {
 // queueAliases maps -queues shorthands to queue lists: "paper" is the
 // paper's seven compared variants; "engineered" is the engineered-MultiQueue
 // comparison set (seed multiq vs. the Williams-Sanders engineered variant
-// vs. the paper's strongest k-LSM).
+// vs. the paper's strongest k-LSM); "klsm" is the paper's three k-LSM
+// relaxation settings.
 var queueAliases = map[string][]string{
 	"paper":      {"klsm128", "klsm256", "klsm4096", "linden", "spray", "multiq", "globallock"},
 	"engineered": {"multiq", "multiq-s4-b8", "klsm4096"},
+	"klsm":       {"klsm128", "klsm256", "klsm4096"},
 }
 
-// ExpandQueues resolves alias entries ("paper", "engineered") in a queue
-// list to their member queues, passing every other name through unchanged.
+// ExpandQueues resolves alias entries ("paper", "engineered", "klsm") in a
+// queue list to their member queues, passing every other name through
+// unchanged.
 func ExpandQueues(names []string) []string {
 	var out []string
 	for _, n := range names {

@@ -209,4 +209,14 @@ func TestExpandQueues(t *testing.T) {
 	if got := ExpandQueues([]string{"multiq"}); len(got) != 1 || got[0] != "multiq" {
 		t.Fatalf("plain name not passed through: %v", got)
 	}
+	got = ExpandQueues([]string{"klsm"})
+	want = []string{"klsm128", "klsm256", "klsm4096"}
+	if len(got) != len(want) {
+		t.Fatalf("klsm alias = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("klsm alias = %v, want %v", got, want)
+		}
+	}
 }

@@ -27,36 +27,46 @@ func (b *block) class() int { return classOf(len(b.items)) }
 // singleton returns a block holding exactly one item.
 func singleton(it *item) *block { return &block{items: []*item{it}} }
 
-// mergeBlocks merges two sorted blocks into a fresh sorted block, dropping
-// items that are already taken — merges are the LSM's garbage collection.
-// The result may be empty.
-func mergeBlocks(a, b *block) *block {
-	out := make([]*item, 0, len(a.items)+len(b.items))
+// mergeBlocksInto merges two sorted runs into dst (which must be empty and
+// disjoint from a and b), dropping items that are already taken — merges are
+// the LSM's garbage collection. It appends at most len(a)+len(b) items and
+// returns the extended slice; the result may be empty. Callers pass a
+// recycled scratch slice so steady-state merging allocates only when dst's
+// capacity is outgrown.
+func mergeBlocksInto(dst []*item, a, b []*item) []*item {
 	i, j := 0, 0
-	for i < len(a.items) && j < len(b.items) {
+	for i < len(a) && j < len(b) {
 		var next *item
-		if a.items[i].key <= b.items[j].key {
-			next = a.items[i]
+		if a[i].key <= b[j].key {
+			next = a[i]
 			i++
 		} else {
-			next = b.items[j]
+			next = b[j]
 			j++
 		}
 		if !next.isTaken() {
-			out = append(out, next)
+			dst = append(dst, next)
 		}
 	}
-	for ; i < len(a.items); i++ {
-		if !a.items[i].isTaken() {
-			out = append(out, a.items[i])
+	for ; i < len(a); i++ {
+		if !a[i].isTaken() {
+			dst = append(dst, a[i])
 		}
 	}
-	for ; j < len(b.items); j++ {
-		if !b.items[j].isTaken() {
-			out = append(out, b.items[j])
+	for ; j < len(b); j++ {
+		if !b[j].isTaken() {
+			dst = append(dst, b[j])
 		}
 	}
-	return &block{items: out}
+	return dst
+}
+
+// mergeBlocks merges two sorted blocks into a fresh sorted block (allocating
+// variant of mergeBlocksInto, used where the result escapes into shared
+// immutable state).
+func mergeBlocks(a, b *block) *block {
+	out := make([]*item, 0, len(a.items)+len(b.items))
+	return &block{items: mergeBlocksInto(out, a.items, b.items)}
 }
 
 // compact returns a copy of b without taken items, or b itself if nothing

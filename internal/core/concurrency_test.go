@@ -163,9 +163,12 @@ func TestSLSMRelaxationUnderConcurrentDeleters(t *testing.T) {
 
 func TestKLSMInsertDeleteChurnKeepsMemoryBounded(t *testing.T) {
 	// Steady-state churn: size estimates must not grow without bound
-	// (merges shed taken items; pivots republish).
+	// (merges shed taken items; pivots republish), and the pooled working
+	// memory — block-shell and backing-array freelists, the shared-run
+	// buffer window — must stay within its documented caps rather than
+	// accumulating recycled garbage of its own.
 	q := NewKLSM(128)
-	h := q.Handle()
+	h := q.Handle().(*Handle)
 	r := rng.New(9)
 	for i := 0; i < 200000; i++ {
 		h.Insert(r.Uint64()%100000, 0)
@@ -173,6 +176,32 @@ func TestKLSMInsertDeleteChurnKeepsMemoryBounded(t *testing.T) {
 	}
 	if n := q.ApproxLen(); n > 50000 {
 		t.Fatalf("ApproxLen = %d after steady-state churn; garbage is accumulating", n)
+	}
+	l := h.local
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.shells); n > maxFreeShells {
+		t.Errorf("%d pooled shells, cap is %d", n, maxFreeShells)
+	}
+	if n := len(l.slices); n > maxFreeSlices {
+		t.Errorf("%d pooled backing arrays, cap is %d", n, maxFreeSlices)
+	}
+	for i, s := range l.slices {
+		// A local block never exceeds ~2k items before eviction, so retired
+		// arrays are bounded too; and retired arrays must hold no stale item
+		// pointers (a retained *item would pin whole allocation slabs).
+		if cap(s) > 4*q.k {
+			t.Errorf("pooled array %d has cap %d — exceeds the 4k bound", i, cap(s))
+		}
+		for j, it := range s[:cap(s)] {
+			if it != nil {
+				t.Fatalf("pooled array %d retains a stale item pointer at %d", i, j)
+			}
+		}
+	}
+	if h.srunEnd-h.srunPos > sharedRunMax || h.srunEnd > sharedRunMax || h.srunPos < 0 {
+		t.Errorf("shared-run window [%d,%d) escaped its %d-slot buffer",
+			h.srunPos, h.srunEnd, sharedRunMax)
 	}
 }
 

@@ -47,3 +47,34 @@ func (it *item) take() bool {
 
 // isTaken reports whether the item has been logically deleted.
 func (it *item) isTaken() bool { return it.taken.Load() }
+
+// itemSlabSize is the bump-allocation granularity of itemAlloc. One slab
+// allocation amortizes over this many inserts.
+const itemSlabSize = 256
+
+// itemAlloc is a per-handle bump allocator handing out items from slabs of
+// itemSlabSize. It is owned by exactly one handle and needs no locking.
+//
+// Reclamation rule: an item is NEVER recycled while any component may still
+// reference it. A taken item can live on in old SLSM states, spy copies and
+// consumed block prefixes, so reusing its memory would require a generation
+// check on every key read; instead item memory is handed to the garbage
+// collector, which frees a slab once every item in it is unreachable. The
+// slab only amortizes the allocation count (one make per itemSlabSize
+// inserts); it never reuses item memory. Merge scratch and block shells
+// (see localLSM) are recycled because they are provably private to one
+// lock's critical section; items and sblocks are not, so they are not.
+type itemAlloc struct {
+	slab []item
+}
+
+// new returns a fresh, untaken item.
+func (a *itemAlloc) new(key, value uint64) *item {
+	if len(a.slab) == 0 {
+		a.slab = make([]item, itemSlabSize)
+	}
+	it := &a.slab[0]
+	a.slab = a.slab[1:]
+	it.key, it.value = key, value
+	return it
+}

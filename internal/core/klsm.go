@@ -10,7 +10,13 @@ import (
 )
 
 // KLSM is the k-LSM relaxed priority queue. delete_min returns one of the
-// kP smallest items, where P is the number of handles (threads) in use.
+// kP smallest items, where P is the number of handles (threads) in use —
+// plus a short per-handle holdover window: a handle that goes to the shared
+// component takes a short run of pivot items under one state load and
+// serves the remainder from a private buffer (see sharedRunMax), so a
+// buffered item's rank can additionally age by whatever is inserted while
+// it waits. Buffered items stay reachable: spying steals them and Flush
+// returns them to the shared component.
 type KLSM struct {
 	k    int
 	slsm *slsm
@@ -53,21 +59,36 @@ func (q *KLSM) Handle() pq.Handle {
 	return h
 }
 
+// sharedRunMax is how many pivot items a handle takes from the SLSM under
+// one state load; the surplus is served from the handle's run buffer on
+// subsequent deletions without touching shared state.
+const sharedRunMax = 8
+
 // Handle is a per-goroutine k-LSM handle.
 type Handle struct {
 	q         *KLSM
 	local     *localLSM
 	rng       *rng.Xoroshiro
-	spyCursor int // round-robin position for victim selection
+	alloc     itemAlloc // owner-only item slab (no lock needed)
+	spyCursor int       // round-robin position for victim selection
+
+	// srun is the shared-run buffer: items already taken from the SLSM's
+	// pivot range, ascending by key, served before new shared loads.
+	// Guarded by local.mu (the owner holds it on every operation anyway,
+	// and spies must be able to steal the buffer of a stalled handle).
+	srun    [sharedRunMax]*item
+	srunPos int // srun[srunPos:srunEnd] is the live window
+	srunEnd int
 }
 
 var _ pq.Handle = (*Handle)(nil)
 var _ pq.Peeker = (*Handle)(nil)
+var _ pq.Flusher = (*Handle)(nil)
 
 // Insert implements pq.Handle: insert into the local DLSM; on overflow past
 // k items, evict the largest local block into the shared SLSM.
 func (h *Handle) Insert(key, value uint64) {
-	it := &item{key: key, value: value}
+	it := h.alloc.new(key, value)
 	l := h.local
 	l.mu.Lock()
 	l.insertLocked(it)
@@ -81,47 +102,77 @@ func (h *Handle) Insert(key, value uint64) {
 	}
 }
 
-// DeleteMin implements pq.Handle: peek at the local component's minimum and
-// at a random item from the SLSM's pivot range, and take the smaller of the
-// two candidates. If the local component is empty, spy on another thread's
-// local items first, per the DLSM design.
+// popRunLocked serves the head of the shared-run buffer.
+func (h *Handle) popRunLocked() *item {
+	it := h.srun[h.srunPos]
+	h.srun[h.srunPos] = nil
+	h.srunPos++
+	return it
+}
+
+// DeleteMin implements pq.Handle: serve the smaller of the local minimum
+// and the head of the shared-run buffer; when the buffer is empty and a
+// shared candidate could beat the local minimum, take a short run from the
+// SLSM's pivot range under one state load (takeRun) and buffer the surplus.
+// If everything local is empty, spy on another thread's local items and
+// run buffer first, per the DLSM design.
 func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 	for {
 		l := h.local
 		l.mu.Lock()
 		bi, ii, lkey, lok := l.peekMinLocked()
-		if !lok {
+		if h.srunPos < h.srunEnd {
+			// Buffered shared items compete with the local minimum.
+			if rit := h.srun[h.srunPos]; !lok || rit.key <= lkey {
+				it := h.popRunLocked()
+				l.mu.Unlock()
+				return it.key, it.value, true
+			}
+			it, won := l.takeAtLocked(bi, ii)
 			l.mu.Unlock()
-			if h.spy() {
-				continue
+			if won {
+				return it.key, it.value, true
 			}
-			// Local side empty everywhere we looked: fall back to shared.
-			it, sok := h.q.slsm.deleteMin(h.rng)
-			if !sok {
-				return 0, 0, false
-			}
-			return it.key, it.value, true
+			continue // a spy took our local minimum under us; retry
 		}
-		// Local candidate exists; fetch a shared candidate to compare.
-		scand, sok := h.q.slsm.peekCandidate(h.rng)
-		if sok && scand.key < lkey {
+		if lok {
+			// Local candidate exists; take a shared run only if the SLSM
+			// holds something strictly smaller.
+			run := h.q.slsm.takeRun(h.rng, lkey, h.srun[:0], sharedRunMax)
+			if len(run) > 0 {
+				h.srunPos, h.srunEnd = 0, len(run)
+				it := h.popRunLocked()
+				l.mu.Unlock()
+				return it.key, it.value, true
+			}
+			it, won := l.takeAtLocked(bi, ii)
 			l.mu.Unlock()
-			if scand.take() {
-				return scand.key, scand.value, true
+			if won {
+				return it.key, it.value, true
 			}
-			continue // lost the shared item; retry from scratch
+			continue
 		}
-		it, won := l.takeAtLocked(bi, ii)
 		l.mu.Unlock()
-		if won {
-			return it.key, it.value, true
+		if h.spy() {
+			continue
 		}
-		// A spying thread took our local minimum under us; retry.
+		// Local side empty everywhere we looked: fall back to shared.
+		run := h.q.slsm.takeRun(h.rng, ^uint64(0), h.srun[:0], sharedRunMax)
+		if len(run) == 0 {
+			return 0, 0, false
+		}
+		l.mu.Lock()
+		h.srunPos, h.srunEnd = 0, len(run)
+		it := h.popRunLocked()
+		l.mu.Unlock()
+		return it.key, it.value, true
 	}
 }
 
-// spy copies the unconsumed items of another handle's local LSM into our
-// own, choosing victims round-robin. Returns true if anything was copied.
+// spy copies the unconsumed items of another handle's local LSM — and moves
+// its buffered shared run, which would otherwise be unreachable while the
+// victim stalls — into our own, choosing victims round-robin. Returns true
+// if anything was copied.
 func (h *Handle) spy() bool {
 	q := h.q
 	q.mu.Lock()
@@ -138,8 +189,14 @@ func (h *Handle) spy() bool {
 		}
 		v.local.mu.Lock()
 		runs := v.local.snapshotLocked()
+		var stolen []*item
+		if v.srunPos < v.srunEnd {
+			stolen = append(stolen, v.srun[v.srunPos:v.srunEnd]...)
+			clear(v.srun[v.srunPos:v.srunEnd])
+			v.srunPos, v.srunEnd = 0, 0
+		}
 		v.local.mu.Unlock()
-		if len(runs) == 0 {
+		if len(runs) == 0 && len(stolen) == 0 {
 			continue
 		}
 		h.spyCursor = (h.spyCursor + i + 1) % n
@@ -147,14 +204,44 @@ func (h *Handle) spy() bool {
 		for _, run := range runs {
 			h.local.insertBlockLocked(run)
 		}
+		if len(stolen) > 0 {
+			// Our own buffer is empty (spy only runs then); the victim's
+			// run is already sorted and already taken — adopt it.
+			copy(h.srun[:], stolen)
+			h.srunPos, h.srunEnd = 0, len(stolen)
+		}
 		h.local.mu.Unlock()
 		return true
 	}
 	return false
 }
 
-// PeekMin reports the smaller of the local minimum and a shared candidate,
-// without removing it (approximate under concurrency).
+// Flush implements pq.Flusher: buffered shared-run items are re-inserted
+// into the SLSM as fresh items, so everything this handle holds privately
+// becomes reachable through other handles. The harnesses call Flush when a
+// worker's measured phase ends.
+func (h *Handle) Flush() {
+	l := h.local
+	l.mu.Lock()
+	n := h.srunEnd - h.srunPos
+	if n == 0 {
+		l.mu.Unlock()
+		return
+	}
+	fresh := make([]*item, n)
+	for i := 0; i < n; i++ {
+		old := h.srun[h.srunPos+i]
+		fresh[i] = h.alloc.new(old.key, old.value)
+	}
+	clear(h.srun[h.srunPos:h.srunEnd])
+	h.srunPos, h.srunEnd = 0, 0
+	l.mu.Unlock()
+	h.q.slsm.insertBatch(fresh) // fresh is sorted: srun was
+}
+
+// PeekMin reports the smallest of the local minimum, the buffered run head
+// and a shared candidate, without removing it (approximate under
+// concurrency).
 func (h *Handle) PeekMin() (key, value uint64, ok bool) {
 	l := h.local
 	l.mu.Lock()
@@ -163,10 +250,15 @@ func (h *Handle) PeekMin() (key, value uint64, ok bool) {
 	if lok {
 		lit = l.blocks[bi].items[ii]
 	}
+	if h.srunPos < h.srunEnd {
+		if rit := h.srun[h.srunPos]; !lok || rit.key <= lkey {
+			lit, lok = rit, true
+		}
+	}
 	l.mu.Unlock()
 	scand, sok := h.q.slsm.peekCandidate(h.rng)
 	switch {
-	case lok && (!sok || lkey <= scand.key):
+	case lok && (!sok || lit.key <= scand.key):
 		return lit.key, lit.value, true
 	case sok:
 		return scand.key, scand.value, true
@@ -175,8 +267,9 @@ func (h *Handle) PeekMin() (key, value uint64, ok bool) {
 	}
 }
 
-// ApproxLen sums local sizes and the shared component's unconsumed slots.
-// Upper bound on live items; tests and monitoring only.
+// ApproxLen sums local sizes, buffered shared runs and the shared
+// component's unconsumed slots. Upper bound on live items; tests and
+// monitoring only.
 func (q *KLSM) ApproxLen() int {
 	q.mu.Lock()
 	handles := append([]*Handle(nil), q.handles...)
@@ -184,7 +277,7 @@ func (q *KLSM) ApproxLen() int {
 	total := q.slsm.approxSize()
 	for _, h := range handles {
 		h.local.mu.Lock()
-		total += h.local.sizeLocked()
+		total += h.local.sizeLocked() + (h.srunEnd - h.srunPos)
 		h.local.mu.Unlock()
 	}
 	return total
@@ -238,13 +331,14 @@ func (q *SLSM) Handle() pq.Handle {
 }
 
 type slsmHandle struct {
-	q   *SLSM
-	rng *rng.Xoroshiro
+	q     *SLSM
+	rng   *rng.Xoroshiro
+	alloc itemAlloc
 }
 
 // Insert implements pq.Handle: a single-item batch insert into the SLSM.
 func (h *slsmHandle) Insert(key, value uint64) {
-	h.q.s.insertBatch([]*item{{key: key, value: value}})
+	h.q.s.insertBatch([]*item{h.alloc.new(key, value)})
 }
 
 // DeleteMin implements pq.Handle: a random pick from the pivot range.

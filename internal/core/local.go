@@ -10,6 +10,15 @@ import "sync"
 // Unlike the shared LSM's immutable blocks, local blocks carry a mutable
 // consumed-prefix offset: the owner deletes its local minimum by advancing
 // `first` after winning the item's take() CAS.
+//
+// The LSM recycles its own working memory: localBlock shells and the []*item
+// backing arrays of merged-away blocks go onto small per-LSM freelists and
+// are reused by later inserts and merges. This is safe because both are
+// provably private to this mutex: every external reader (spy snapshots,
+// evictions) copies item pointers out under the lock and never retains the
+// shells or slices themselves. Items are the one exception — see itemAlloc's
+// reclamation rule. An evicted block's array is donated to the SLSM and
+// permanently leaves the freelist.
 type localLSM struct {
 	mu sync.Mutex
 	// blocks is ordered by strictly decreasing capacity class.
@@ -17,7 +26,19 @@ type localLSM struct {
 	// size is the number of item slots currently referenced (an upper bound
 	// on live items; interior taken items are discovered lazily).
 	size int
+
+	// shells and slices are bounded freelists of retired localBlock shells
+	// and block backing arrays, reused by inserts and tail merges.
+	shells []*localBlock
+	slices [][]*item
 }
+
+// Freelist bounds: past these, retired memory is left to the GC. They cap
+// how much recycled memory an idle LSM can pin.
+const (
+	maxFreeShells = 32
+	maxFreeSlices = 8
+)
 
 type localBlock struct {
 	items []*item
@@ -26,41 +47,107 @@ type localBlock struct {
 
 func (lb *localBlock) class() int { return classOf(len(lb.items) - lb.first) }
 
+// newShell returns a zeroed localBlock, recycled if possible.
+func (l *localLSM) newShell() *localBlock {
+	if n := len(l.shells); n > 0 {
+		lb := l.shells[n-1]
+		l.shells[n-1] = nil
+		l.shells = l.shells[:n-1]
+		return lb
+	}
+	return &localBlock{}
+}
+
+// retireShell recycles a block shell once no reference to it remains.
+func (l *localLSM) retireShell(lb *localBlock) {
+	if len(l.shells) >= maxFreeShells {
+		return
+	}
+	lb.items, lb.first = nil, 0
+	l.shells = append(l.shells, lb)
+}
+
+// scratchFor returns an empty []*item with capacity >= need, preferring the
+// smallest adequate retired array over a fresh allocation.
+func (l *localLSM) scratchFor(need int) []*item {
+	best := -1
+	for i, s := range l.slices {
+		if cap(s) >= need && (best < 0 || cap(s) < cap(l.slices[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		s := l.slices[best]
+		n := len(l.slices) - 1
+		l.slices[best] = l.slices[n]
+		l.slices[n] = nil
+		l.slices = l.slices[:n]
+		return s
+	}
+	return make([]*item, 0, need)
+}
+
+// retireSlice recycles a block backing array. The array must start at its
+// allocation base (every block items slice does) and hold no live block.
+// Stale item pointers are cleared so the freelist cannot pin item slabs.
+func (l *localLSM) retireSlice(s []*item) {
+	if cap(s) == 0 || len(l.slices) >= maxFreeSlices {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	l.slices = append(l.slices, s[:0])
+}
+
 // insertLocked adds one item (O(log n) amortized via merging).
 func (l *localLSM) insertLocked(it *item) {
-	l.blocks = append(l.blocks, &localBlock{items: []*item{it}})
+	nb := l.newShell()
+	nb.items = append(l.scratchFor(1), it)
+	l.blocks = append(l.blocks, nb)
 	l.size++
 	l.mergeTailLocked()
 }
 
-// insertBlockLocked adds a pre-sorted run of items (spy and tests).
+// insertBlockLocked adds a pre-sorted run of items (spy and tests). The
+// slice is absorbed into the LSM and must not be retained by the caller.
 func (l *localLSM) insertBlockLocked(items []*item) {
 	if len(items) == 0 {
 		return
 	}
-	l.blocks = append(l.blocks, &localBlock{items: items})
+	nb := l.newShell()
+	nb.items = items
+	l.blocks = append(l.blocks, nb)
 	l.size += len(items)
 	l.mergeTailLocked()
 }
 
 // mergeTailLocked restores the strictly-decreasing class invariant by
-// merging from the tail, dropping taken items as it goes.
+// merging from the tail, dropping taken items as it goes. Merge output goes
+// into a recycled scratch array; the two consumed arrays and shells are
+// retired for reuse.
 func (l *localLSM) mergeTailLocked() {
 	for n := len(l.blocks); n >= 2; n = len(l.blocks) {
 		a, b := l.blocks[n-2], l.blocks[n-1]
 		if a.class() > b.class() {
 			break
 		}
-		merged := mergeBlocks(
-			&block{items: a.items[a.first:]},
-			&block{items: b.items[b.first:]},
-		)
-		l.size -= (len(a.items) - a.first) + (len(b.items) - b.first)
+		la, lb := len(a.items)-a.first, len(b.items)-b.first
+		merged := mergeBlocksInto(l.scratchFor(la+lb), a.items[a.first:], b.items[b.first:])
+		l.size -= la + lb
 		l.blocks = l.blocks[:n-2]
-		if len(merged.items) > 0 {
-			l.blocks = append(l.blocks, &localBlock{items: merged.items})
-			l.size += len(merged.items)
+		ai, bi := a.items, b.items
+		l.retireShell(a)
+		l.retireShell(b)
+		if len(merged) > 0 {
+			nb := l.newShell()
+			nb.items = merged
+			l.blocks = append(l.blocks, nb)
+			l.size += len(merged)
+		} else {
+			l.retireSlice(merged)
 		}
+		l.retireSlice(ai)
+		l.retireSlice(bi)
 	}
 }
 
@@ -77,6 +164,8 @@ func (l *localLSM) peekMinLocked() (bi, ii int, key uint64, ok bool) {
 		}
 		if b.first >= len(b.items) {
 			l.blocks = append(l.blocks[:i], l.blocks[i+1:]...)
+			l.retireSlice(b.items)
+			l.retireShell(b)
 			continue
 		}
 		if front := b.items[b.first]; bi < 0 || front.key < key {
@@ -108,6 +197,8 @@ func (l *localLSM) takeAtLocked(bi, ii int) (*item, bool) {
 
 // evictLargestLocked removes and returns the live items of the largest
 // (front) block, for batch insertion into the SLSM. Returns nil if empty.
+// The items are compacted in place and the array is donated to the SLSM
+// (it becomes part of an immutable shared block, so it is never retired).
 func (l *localLSM) evictLargestLocked() []*item {
 	if len(l.blocks) == 0 {
 		return nil
@@ -115,12 +206,17 @@ func (l *localLSM) evictLargestLocked() []*item {
 	b := l.blocks[0]
 	l.blocks = l.blocks[1:]
 	l.size -= len(b.items) - b.first
-	live := make([]*item, 0, len(b.items)-b.first)
-	for _, it := range b.items[b.first:] {
+	live := b.items[b.first:]
+	w := 0
+	for _, it := range live {
 		if !it.isTaken() {
-			live = append(live, it)
+			live[w] = it
+			w++
 		}
 	}
+	clear(live[w:]) // drop stale pointers beyond the donated prefix
+	live = live[:w:w]
+	l.retireShell(b)
 	if len(live) == 0 {
 		return nil
 	}

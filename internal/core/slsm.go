@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"cpq/internal/rng"
@@ -12,10 +14,16 @@ import (
 // skips at most k items — the SLSM's relaxation guarantee.
 //
 // State transitions are functional: batch inserts merge blocks into a fresh
-// state and publish it with a single CAS (optimistic retry on conflict);
-// pivot exhaustion republishes the same blocks with freshly computed pivots.
-// Item deletion itself is just the item's take() CAS and needs no state
-// change, which is what keeps the pivot range effective between rebuilds.
+// state and publish it with a single CAS (optimistic retry with capped
+// backoff on conflict); pivot exhaustion republishes the same blocks with
+// freshly computed pivots. Item deletion itself is just the item's take()
+// CAS and needs no state change, which is what keeps the pivot range
+// effective between rebuilds.
+//
+// sstates, sblocks and their arrays are never pooled: an old state stays
+// readable by concurrent threads after it is replaced, so reuse would need
+// epoch tracking — the GC reclaims them instead (see itemAlloc's
+// reclamation rule for the same argument on items).
 type slsm struct {
 	k     int
 	state atomic.Pointer[sstate]
@@ -26,9 +34,15 @@ type sstate struct {
 	// blocks ordered by strictly decreasing capacity class. The slices are
 	// shared across states; the sblock first-hints advance monotonically.
 	blocks []*sblock
-	// pivots enumerates the candidate slots: at most k+1 positions holding
-	// the smallest live items at pivot-computation time.
-	pivots []pivotSlot
+	// pivots holds the candidate items sorted ascending by key: a subset of
+	// the k+1 smallest live items at pivot-computation time (exactly the
+	// k+1 smallest after a full recompute; possibly fewer after a
+	// carry-forward publish — see carryPivots).
+	pivots []*item
+	// pivotMax is the largest pivot key at publication time. Pivot-reuse
+	// invariant: every live item NOT in pivots has key >= pivotMax, which
+	// is what makes carrying live pivots into the next state sound.
+	pivotMax uint64
 }
 
 type sblock struct {
@@ -38,15 +52,27 @@ type sblock struct {
 	first atomic.Int64
 }
 
-type pivotSlot struct {
-	b   int32 // block index within state.blocks
-	idx int32 // item index within that block
-}
-
 func newSLSM(k int) *slsm {
 	s := &slsm{k: k}
 	s.state.Store(&sstate{})
 	return s
+}
+
+// publishBackoff delays an optimistic-CAS retry loop after `attempt` failed
+// publishes: capped exponential yielding, so a storm of concurrent
+// publishers (batch inserts, pivot republishes) serializes instead of
+// burning cycles re-merging states that will lose the race again.
+func publishBackoff(attempt int) {
+	if attempt <= 0 {
+		return
+	}
+	spins := 1 << uint(attempt)
+	if spins > 64 {
+		spins = 64
+	}
+	for i := 0; i < spins; i++ {
+		runtime.Gosched()
+	}
 }
 
 // advanceFirst publishes a larger taken-prefix hint (monotone max).
@@ -62,27 +88,33 @@ func (b *sblock) advanceFirst(to int) {
 	}
 }
 
+// posPool recycles the per-block cursor scratch of computePivots, which can
+// run concurrently on several threads (delete-side republishes).
+var posPool = sync.Pool{New: func() any { s := make([]int, 0, 16); return &s }}
+
 // computePivots selects up to k+1 smallest live items by a tournament over
 // the block fronts, advancing the shared first-hints past taken prefixes as
-// a side effect. O((k+1)·B + B·taken-prefix).
-func computePivots(blocks []*sblock, k int) []pivotSlot {
+// a side effect. Items are returned ascending by key.
+// O((k+1)·B + B·taken-prefix).
+func computePivots(blocks []*sblock, k int) []*item {
 	if len(blocks) == 0 {
 		return nil
 	}
-	pos := make([]int, len(blocks))
-	for i, b := range blocks {
+	pp := posPool.Get().(*[]int)
+	pos := (*pp)[:0]
+	for _, b := range blocks {
 		p := int(b.first.Load())
 		for p < len(b.items) && b.items[p].isTaken() {
 			p++
 		}
 		b.advanceFirst(p)
-		pos[i] = p
+		pos = append(pos, p)
 	}
 	capHint := k + 1
 	if capHint > 1<<16 {
 		capHint = 1 << 16 // huge k (standalone DLSM) must not pre-allocate
 	}
-	pivots := make([]pivotSlot, 0, capHint)
+	pivots := make([]*item, 0, capHint)
 	for len(pivots) < k+1 {
 		best := -1
 		var bestKey uint64
@@ -98,35 +130,100 @@ func computePivots(blocks []*sblock, k int) []pivotSlot {
 			break // all blocks exhausted
 		}
 		b := blocks[best]
-		if !b.items[pos[best]].isTaken() {
-			pivots = append(pivots, pivotSlot{b: int32(best), idx: int32(pos[best])})
+		if it := b.items[pos[best]]; !it.isTaken() {
+			pivots = append(pivots, it)
 		}
 		pos[best]++
 		for pos[best] < len(b.items) && b.items[pos[best]].isTaken() {
 			pos[best]++
 		}
 	}
+	*pp = pos
+	posPool.Put(pp)
 	return pivots
 }
 
+// freshPivotState builds a fully recomputed state over blocks.
+func freshPivotState(blocks []*sblock, k int) *sstate {
+	ns := &sstate{blocks: blocks, pivots: computePivots(blocks, k)}
+	if n := len(ns.pivots); n > 0 {
+		ns.pivotMax = ns.pivots[n-1].key
+	}
+	return ns
+}
+
+// carryPivots reuses cur's still-live pivots for the state that adds the
+// sorted batch `items`, recomputing nothing: the new pivot set is the k+1
+// smallest of (live old pivots) ∪ (new items with key <= cur.pivotMax),
+// merged in one linear pass.
+//
+// Soundness (the pivot-reuse invariant): cur guarantees every live non-pivot
+// item has key >= cur.pivotMax. New items above that threshold are excluded,
+// so after truncation to the k+1 smallest, every kept item still precedes
+// all live non-pivot items — the new set is a subset of the new state's k+1
+// smallest live items, and the invariant holds again with the new pivotMax.
+// A smaller-than-k+1 set only tightens relaxation; an empty result makes
+// the caller fall back to a full recompute.
+func carryPivots(cur *sstate, items []*item, k int) ([]*item, uint64) {
+	if len(cur.pivots) == 0 {
+		return nil, 0
+	}
+	out := make([]*item, 0, min(k+1, len(cur.pivots)+len(items)))
+	i, j := 0, 0
+	for len(out) < k+1 {
+		for i < len(cur.pivots) && cur.pivots[i].isTaken() {
+			i++
+		}
+		for j < len(items) && (items[j].key > cur.pivotMax || items[j].isTaken()) {
+			if items[j].key > cur.pivotMax {
+				j = len(items) // sorted: everything after is above too
+				break
+			}
+			j++
+		}
+		iOK, jOK := i < len(cur.pivots), j < len(items)
+		switch {
+		case iOK && (!jOK || cur.pivots[i].key <= items[j].key):
+			out = append(out, cur.pivots[i])
+			i++
+		case jOK:
+			out = append(out, items[j])
+			j++
+		default:
+			if len(out) == 0 {
+				return nil, 0
+			}
+			return out, out[len(out)-1].key
+		}
+	}
+	return out, out[len(out)-1].key
+}
+
 // insertBatch merges a sorted run of items into the SLSM (the k-LSM hands
-// over a whole evicted DLSM block at once — "batch insert").
+// over a whole evicted DLSM block at once — "batch insert"). The items
+// slice is absorbed into the shared structure and must not be mutated by
+// the caller afterwards.
 func (s *slsm) insertBatch(items []*item) {
 	if len(items) == 0 {
 		return
 	}
 	nb := &sblock{items: items}
-	for {
+	for attempt := 0; ; attempt++ {
 		cur := s.state.Load()
 		blocks := lsmMergeShared(cur.blocks, nb)
-		ns := &sstate{blocks: blocks, pivots: computePivots(blocks, s.k)}
+		ns := &sstate{blocks: blocks}
+		ns.pivots, ns.pivotMax = carryPivots(cur, items, s.k)
+		if len(ns.pivots) == 0 {
+			ns = freshPivotState(blocks, s.k)
+		}
 		if s.state.CompareAndSwap(cur, ns) {
 			return
 		}
-		// Lost the publish race: redo the merge against the new state.
-		// (The C++ SLSM resolves this with helping on a shared block
-		// array; optimistic retry preserves lock-freedom system-wide —
+		// Lost the publish race: back off, then redo the merge against the
+		// new state. (The C++ SLSM resolves this with helping on a shared
+		// block array; optimistic retry preserves lock-freedom system-wide —
 		// some thread always makes progress.)
+		publishBackoff(attempt)
 	}
 }
 
@@ -147,12 +244,12 @@ func lsmMergeShared(blocks []*sblock, nb *sblock) []*sblock {
 			if out[i-1].liveClass() > out[i].liveClass() {
 				continue
 			}
-			a := &block{items: out[i-1].items[out[i-1].first.Load():]}
-			b := &block{items: out[i].items[out[i].first.Load():]}
-			m := mergeBlocks(a, b)
+			a := out[i-1].items[out[i-1].first.Load():]
+			b := out[i].items[out[i].first.Load():]
+			m := mergeBlocksInto(make([]*item, 0, len(a)+len(b)), a, b)
 			rest := append([]*sblock{}, out[:i-1]...)
-			if len(m.items) > 0 {
-				rest = append(rest, &sblock{items: m.items})
+			if len(m) > 0 {
+				rest = append(rest, &sblock{items: m})
 			}
 			out = append(rest, out[i+1:]...)
 			merged = true
@@ -169,40 +266,125 @@ func (b *sblock) liveClass() int { return classOf(len(b.items) - int(b.first.Loa
 
 // deleteMin removes a uniformly random item from the pivot range.
 func (s *slsm) deleteMin(r *rng.Xoroshiro) (*item, bool) {
-	for {
+	var buf [1]*item
+	run := s.takeRun(r, ^uint64(0), buf[:0], 1)
+	if len(run) == 0 {
+		return nil, false
+	}
+	return run[0], true
+}
+
+// takeRun takes up to max live pivot items with key < bound under a single
+// state load per attempt, appending them to dst and returning it sorted
+// ascending. It returns dst unchanged when every live pivot is >= bound
+// (the caller's local candidate wins), and republishes a fresh pivot range
+// when the current one is exhausted — returning empty only once the SLSM
+// holds nothing at all. This is the k-LSM's batch consumption path: a
+// handle that wins the pivot race takes a short run in one state load
+// instead of re-reading state per item.
+func (s *slsm) takeRun(r *rng.Xoroshiro, bound uint64, dst []*item, max int) []*item {
+	got := len(dst)
+	// A bound of MaxUint64 means "take anything": an item keyed MaxUint64
+	// ties a local candidate at that bound, and serving the shared side on
+	// a tie is valid either way.
+	unbounded := bound == ^uint64(0)
+	for attempt := 0; ; attempt++ {
 		st := s.state.Load()
-		if it, ok := st.takeRandom(r); ok {
-			return it, true
+		if n := len(st.pivots); n > 0 {
+			// Pivots are sorted ascending, so the candidates below bound
+			// form a prefix; the scan never leaves it.
+			m := n
+			if !unbounded {
+				m = lowerBound(st.pivots, bound)
+				if m == 0 {
+					return dst // every pivot >= bound: the local candidate wins
+				}
+			}
+			idx := int(r.Uintn(uint64(m)))
+			for i := 0; i < m; i++ {
+				if it := st.pivots[idx]; it.take() {
+					dst = append(dst, it)
+					if len(dst)-got == max {
+						break
+					}
+				}
+				if idx++; idx == m {
+					idx = 0
+				}
+			}
+			if len(dst) > got {
+				sortRun(dst[got:])
+				return dst
+			}
+			if m < n {
+				// The below-bound prefix is fully taken, but larger pivots
+				// exist: by the pivot-reuse invariant every live non-pivot
+				// item is >= pivotMax >= bound too, so nothing shared can
+				// beat the local candidate — no republish needed.
+				return dst
+			}
 		}
 		// Pivot range exhausted: recompute. If the recompute finds nothing
 		// and the blocks are fully consumed, the SLSM is empty.
 		pivots := computePivots(st.blocks, s.k)
 		if len(pivots) == 0 {
 			if st.exhausted() {
-				return nil, false
+				return dst
 			}
+			publishBackoff(attempt)
 			continue
 		}
-		ns := &sstate{blocks: st.blocks, pivots: pivots}
-		s.state.CompareAndSwap(st, ns)
-		// On CAS failure another thread published (insert or republish);
-		// loop and use whatever is current.
+		ns := &sstate{blocks: st.blocks, pivots: pivots, pivotMax: pivots[len(pivots)-1].key}
+		if !s.state.CompareAndSwap(st, ns) {
+			// Another thread published (insert or republish); back off and
+			// use whatever is current.
+			publishBackoff(attempt)
+		}
+	}
+}
+
+// lowerBound returns the first index in the ascending pivot list whose key
+// is >= bound (binary search).
+func lowerBound(pivots []*item, bound uint64) int {
+	lo, hi := 0, len(pivots)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pivots[mid].key < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sortRun insertion-sorts a short run of items ascending by key (runs are
+// at most the k-LSM's shared-run batch size; cyclic pivot scanning returns
+// them rotated).
+func sortRun(run []*item) {
+	for i := 1; i < len(run); i++ {
+		it := run[i]
+		j := i - 1
+		for j >= 0 && run[j].key > it.key {
+			run[j+1] = run[j]
+			j--
+		}
+		run[j+1] = it
 	}
 }
 
 // peekCandidate returns a random live pivot item without taking it. The
 // k-LSM composition compares this candidate with the DLSM's local minimum.
-// Like deleteMin, it republishes a fresh pivot range when the current one is
+// Like takeRun, it republishes a fresh pivot range when the current one is
 // fully consumed — otherwise the k-LSM would ignore a non-empty shared
 // component and return arbitrarily bad local minima, breaking the kP bound.
 func (s *slsm) peekCandidate(r *rng.Xoroshiro) (*item, bool) {
-	for {
+	for attempt := 0; ; attempt++ {
 		st := s.state.Load()
 		if n := len(st.pivots); n > 0 {
 			start := int(r.Uintn(uint64(n)))
 			for i := 0; i < n; i++ {
-				slot := st.pivots[(start+i)%n]
-				it := st.blocks[slot.b].items[slot.idx]
+				it := st.pivots[(start+i)%n]
 				if !it.isTaken() {
 					return it, true
 				}
@@ -213,28 +395,14 @@ func (s *slsm) peekCandidate(r *rng.Xoroshiro) (*item, bool) {
 			if st.exhausted() {
 				return nil, false
 			}
+			publishBackoff(attempt)
 			continue
 		}
-		s.state.CompareAndSwap(st, &sstate{blocks: st.blocks, pivots: pivots})
-	}
-}
-
-// takeRandom picks a uniformly random pivot slot and takes the first live
-// item scanning cyclically from it.
-func (st *sstate) takeRandom(r *rng.Xoroshiro) (*item, bool) {
-	n := len(st.pivots)
-	if n == 0 {
-		return nil, false
-	}
-	start := int(r.Uintn(uint64(n)))
-	for i := 0; i < n; i++ {
-		slot := st.pivots[(start+i)%n]
-		it := st.blocks[slot.b].items[slot.idx]
-		if it.take() {
-			return it, true
+		ns := &sstate{blocks: st.blocks, pivots: pivots, pivotMax: pivots[len(pivots)-1].key}
+		if !s.state.CompareAndSwap(st, ns) {
+			publishBackoff(attempt)
 		}
 	}
-	return nil, false
 }
 
 // exhausted reports whether every block is fully consumed.

@@ -70,14 +70,50 @@ func TestSLSMPivotsAreSmallestItems(t *testing.T) {
 		t.Fatalf("%d pivots, want 5", len(st.pivots))
 	}
 	var keys []uint64
-	for _, p := range st.pivots {
-		keys = append(keys, st.blocks[p.b].items[p.idx].key)
+	for _, it := range st.pivots {
+		keys = append(keys, it.key)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	want := []uint64{10, 20, 30, 40, 50}
 	for i := range want {
 		if keys[i] != want[i] {
 			t.Fatalf("pivot keys %v, want %v", keys, want)
+		}
+	}
+	if st.pivotMax != 50 {
+		t.Fatalf("pivotMax = %d, want 50", st.pivotMax)
+	}
+}
+
+func TestSLSMPivotCarryForwardAcrossInserts(t *testing.T) {
+	// A batch insert must reuse the previous state's still-live pivots: the
+	// resulting pivot set stays a subset of the k+1 smallest live items and
+	// pivotMax never grows across a carry-forward publish.
+	s := newSLSM(4)
+	slsmInsertKeys(s, 10, 20, 30, 40, 50, 60, 70)
+	prevMax := s.state.Load().pivotMax
+	slsmInsertKeys(s, 5, 15, 25) // all below prevMax: mergeable candidates
+	st := s.state.Load()
+	if st.pivotMax > prevMax {
+		t.Fatalf("pivotMax grew across carry-forward: %d -> %d", prevMax, st.pivotMax)
+	}
+	want := map[uint64]bool{5: true, 10: true, 15: true, 20: true, 25: true}
+	if len(st.pivots) == 0 || len(st.pivots) > 5 {
+		t.Fatalf("%d pivots after carry-forward, want 1..5", len(st.pivots))
+	}
+	for i, it := range st.pivots {
+		if !want[it.key] {
+			t.Fatalf("pivot %d has key %d — not among the k+1 smallest live items", i, it.key)
+		}
+		if i > 0 && st.pivots[i-1].key > it.key {
+			t.Fatal("pivots not ascending")
+		}
+	}
+	// Items above the previous threshold must not enter the carried set.
+	slsmInsertKeys(s, 1000, 2000)
+	for _, it := range s.state.Load().pivots {
+		if it.key >= 1000 {
+			t.Fatalf("pivot key %d leapfrogged the carry threshold", it.key)
 		}
 	}
 }

@@ -46,12 +46,13 @@ type Peeker interface {
 }
 
 // Flusher is implemented by handles that buffer operations locally (the
-// engineered MultiQueue's insertion/deletion buffers). Flush publishes any
-// buffered insertions to the shared structure and returns unserved
-// deletion-buffer items to it, so that every item the handle holds becomes
-// reachable through other handles. The benchmark harnesses call Flush on
-// each worker handle when its measured phase ends; a handle with nothing
-// buffered must treat Flush as a no-op.
+// engineered MultiQueue's insertion/deletion buffers, the k-LSM's
+// shared-run buffer of items batch-taken from the SLSM pivot range). Flush
+// publishes any buffered insertions to the shared structure and returns
+// unserved deletion-buffer items to it, so that every item the handle holds
+// becomes reachable through other handles. The benchmark harnesses call
+// Flush on each worker handle when its measured phase ends; a handle with
+// nothing buffered must treat Flush as a no-op.
 type Flusher interface {
 	Flush()
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm check repro verify examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm check repro verify profile examples clean
 
 all: build vet test
 
@@ -53,6 +53,21 @@ repro:
 # Check claimed relaxation bounds against observed rank errors.
 verify:
 	$(GO) run ./cmd/pqverify
+
+# Profile one queue on the fig-4a cell: CPU + heap profiles and queue
+# telemetry under ./profiles/. Inspect with `go tool pprof`.
+#   make profile QUEUE=klsm4096 THREADS=8 DURATION=2s
+QUEUE    ?= klsm4096
+THREADS  ?= 8
+DURATION ?= 2s
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/pqbench -queues $(QUEUE) -threads $(THREADS) \
+		-duration $(DURATION) -reps 1 -telemetry \
+		-cpuprofile profiles/$(QUEUE)-t$(THREADS).cpu.pprof \
+		-memprofile profiles/$(QUEUE)-t$(THREADS).mem.pprof \
+		| tee profiles/$(QUEUE)-t$(THREADS).telemetry.txt
+	@echo "profiles written to ./profiles/ (go tool pprof profiles/$(QUEUE)-t$(THREADS).cpu.pprof)"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -36,6 +36,7 @@ import (
 	"cpq/internal/harness"
 	"cpq/internal/keys"
 	"cpq/internal/pq"
+	"cpq/internal/telemetry"
 	"cpq/internal/workload"
 )
 
@@ -57,8 +58,14 @@ func main() {
 		csvOut    = flag.Bool("csv", false, "emit CSV (threads,queue,mops,ci) instead of a table")
 		markdown  = flag.Bool("markdown", false, "emit a markdown table instead of plain text")
 		plot      = flag.Bool("plot", false, "also render an ASCII chart of throughput vs threads (like the paper's figures)")
+		telemF    = flag.Bool("telemetry", false, "collect queue-internals counters and latency histograms; prints one section per cell after the table (see DESIGN.md §5)")
 	)
+	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
+	telemetry.Enabled = *telemF
+	stopProf, err := prof.Start()
+	exitOn(err)
+	defer stopProf()
 
 	wl, err := workload.Parse(*workloadF)
 	exitOn(err)
@@ -98,6 +105,13 @@ func main() {
 	}
 	table.AddRow(row...)
 	curves := map[string][]float64{}
+	type telemEntry struct {
+		threads int
+		queue   string
+		ops     uint64
+		snap    telemetry.Snapshot
+	}
+	var telemEntries []telemEntry
 	for _, p := range threads {
 		row := []string{fmt.Sprintf("%d", p)}
 		for _, name := range queueNames {
@@ -124,10 +138,22 @@ func main() {
 				row = append(row, fmt.Sprintf("%.3fs p50=%.0fns p99=%.0fns",
 					res.Duration.Seconds(), res.LatencyP50, res.LatencyP99))
 				curves[name] = append(curves[name], res.MOps())
+				if res.Telemetry != nil {
+					telemEntries = append(telemEntries,
+						telemEntry{p, name, res.Ops, *res.Telemetry})
+				}
 			} else {
 				s := harness.RunRepeated(cfg, *reps)
 				row = append(row, fmt.Sprintf("%.3f ±%.3f", s.Throughput.Mean, s.Throughput.CI95))
 				curves[name] = append(curves[name], s.Throughput.Mean)
+				if s.Telemetry != nil {
+					var ops uint64
+					for _, r := range s.Results {
+						ops += r.Ops
+					}
+					telemEntries = append(telemEntries,
+						telemEntry{p, name, ops, *s.Telemetry})
+				}
 			}
 		}
 		table.AddRow(row...)
@@ -147,6 +173,14 @@ func main() {
 		fmt.Print(table.String())
 	}
 	fmt.Println("# cells are MOps/s (insertions+deletions per second / 1e6), mean ±95% CI")
+	if len(telemEntries) > 0 {
+		fmt.Println("\n# telemetry (counters summed over reps; rates are per completed op; see DESIGN.md §5)")
+		for _, e := range telemEntries {
+			fmt.Printf("## threads=%d queue=%s ops=%d\n", e.threads, e.queue, e.ops)
+			fmt.Print(e.snap.Table("  ", e.ops))
+			fmt.Print(e.snap.LatencySummary("  "))
+		}
+	}
 	if *plot {
 		chart := cli.NewPlot(header, threads)
 		chart.XLabel, chart.YLabel = "threads", "MOps/s"

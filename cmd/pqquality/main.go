@@ -35,7 +35,11 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit a markdown table instead of plain text")
 		hist      = flag.Bool("hist", false, "also print the rank histogram (power-of-two buckets) per cell")
 	)
+	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	exitOn(err)
+	defer stopProf()
 
 	wl, err := workload.Parse(*workloadF)
 	exitOn(err)

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"cpq"
+	"cpq/internal/cli"
 	"cpq/internal/keys"
 	"cpq/internal/pq"
 	"cpq/internal/quality"
@@ -45,7 +46,14 @@ func main() {
 		slack     = flag.Int("slack", -1, "rank slack for in-flight concurrent ops (-1 = threads)")
 		seed      = flag.Uint64("seed", 0, "RNG seed")
 	)
+	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pqverify:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	names := cpq.Names()
 	if *queuesF != "" {
@@ -97,6 +105,7 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Printf("\n%d queue(s) exceeded their claimed bound beyond tolerance\n", failures)
+		stopProf() // flush profiles: os.Exit skips deferred calls
 		os.Exit(1)
 	}
 	fmt.Println("\nall claimed bounds hold (within stamping-pessimism tolerance)")

@@ -35,6 +35,11 @@
 // claims whichever is smaller (CAS on the delete index / buffer slot).
 // This trades the FAA fast path for a simpler strict design; the freeze
 // and split protocols follow the original.
+//
+// Registry identifier: "cbpq"; strict (cmd/pqverify checks rank 0 within
+// stamping slack). In the extension-queue grid of EXPERIMENTS.md it is the
+// fastest strict structure, consistent with the original's mixed-workload
+// claim.
 package cbpq
 
 import (

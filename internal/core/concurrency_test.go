@@ -79,7 +79,7 @@ func TestSLSMConcurrentPivotRecompute(t *testing.T) {
 	}
 	// Insert in sorted batches of 50.
 	for i := 0; i < n; i += 50 {
-		s.insertBatch(items[i : i+50])
+		s.insertBatch(items[i:i+50], nil)
 	}
 	const workers = 8
 	var wg sync.WaitGroup
@@ -90,7 +90,7 @@ func TestSLSMConcurrentPivotRecompute(t *testing.T) {
 			defer wg.Done()
 			r := rng.New(uint64(w) + 1)
 			for {
-				it, ok := s.deleteMin(r)
+				it, ok := s.deleteMin(r, nil)
 				if !ok {
 					return
 				}
@@ -128,7 +128,7 @@ func TestSLSMRelaxationUnderConcurrentDeleters(t *testing.T) {
 		items[i] = &item{key: uint64(i)}
 	}
 	for i := 0; i < n; i += 100 {
-		s.insertBatch(items[i : i+100])
+		s.insertBatch(items[i:i+100], nil)
 	}
 	var mu sync.Mutex
 	order := make([]uint64, 0, n)
@@ -139,7 +139,7 @@ func TestSLSMRelaxationUnderConcurrentDeleters(t *testing.T) {
 			defer wg.Done()
 			r := rng.New(uint64(w) + 5)
 			for {
-				it, ok := s.deleteMin(r)
+				it, ok := s.deleteMin(r, nil)
 				if !ok {
 					return
 				}

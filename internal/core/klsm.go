@@ -7,6 +7,7 @@ import (
 
 	"cpq/internal/pq"
 	"cpq/internal/rng"
+	"cpq/internal/telemetry"
 )
 
 // KLSM is the k-LSM relaxed priority queue. delete_min returns one of the
@@ -47,10 +48,12 @@ func (q *KLSM) Name() string { return fmt.Sprintf("klsm%d", q.k) }
 // Handle implements pq.Queue. Each handle owns a DLSM component (a local
 // LSM capped at k items) and registers itself as a spy victim.
 func (q *KLSM) Handle() pq.Handle {
+	tel := telemetry.NewShard()
 	h := &Handle{
 		q:     q,
-		local: &localLSM{},
+		local: &localLSM{tel: tel},
 		rng:   rng.New(q.seed.Add(0x9e3779b97f4a7c15)),
+		tel:   tel,
 	}
 	q.mu.Lock()
 	q.handles = append(q.handles, h)
@@ -69,8 +72,9 @@ type Handle struct {
 	q         *KLSM
 	local     *localLSM
 	rng       *rng.Xoroshiro
-	alloc     itemAlloc // owner-only item slab (no lock needed)
-	spyCursor int       // round-robin position for victim selection
+	alloc     itemAlloc        // owner-only item slab (no lock needed)
+	tel       *telemetry.Shard // per-handle counters (shared with local)
+	spyCursor int              // round-robin position for victim selection
 
 	// srun is the shared-run buffer: items already taken from the SLSM's
 	// pivot range, ascending by key, served before new shared loads.
@@ -98,7 +102,8 @@ func (h *Handle) Insert(key, value uint64) {
 	}
 	l.mu.Unlock()
 	if len(evicted) > 0 {
-		h.q.slsm.insertBatch(evicted)
+		h.tel.Inc(telemetry.LocalEvict)
+		h.q.slsm.insertBatch(evicted, h.tel)
 	}
 }
 
@@ -133,13 +138,16 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 			if won {
 				return it.key, it.value, true
 			}
+			h.tel.Inc(telemetry.CASItemTakeFail)
 			continue // a spy took our local minimum under us; retry
 		}
 		if lok {
 			// Local candidate exists; take a shared run only if the SLSM
 			// holds something strictly smaller.
-			run := h.q.slsm.takeRun(h.rng, lkey, h.srun[:0], sharedRunMax)
+			run := h.q.slsm.takeRun(h.rng, lkey, h.srun[:0], sharedRunMax, h.tel)
 			if len(run) > 0 {
+				h.tel.Inc(telemetry.SharedRunTake)
+				h.tel.Add(telemetry.SharedRunItems, uint64(len(run)))
 				h.srunPos, h.srunEnd = 0, len(run)
 				it := h.popRunLocked()
 				l.mu.Unlock()
@@ -150,6 +158,7 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 			if won {
 				return it.key, it.value, true
 			}
+			h.tel.Inc(telemetry.CASItemTakeFail)
 			continue
 		}
 		l.mu.Unlock()
@@ -157,10 +166,12 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 			continue
 		}
 		// Local side empty everywhere we looked: fall back to shared.
-		run := h.q.slsm.takeRun(h.rng, ^uint64(0), h.srun[:0], sharedRunMax)
+		run := h.q.slsm.takeRun(h.rng, ^uint64(0), h.srun[:0], sharedRunMax, h.tel)
 		if len(run) == 0 {
 			return 0, 0, false
 		}
+		h.tel.Inc(telemetry.SharedRunTake)
+		h.tel.Add(telemetry.SharedRunItems, uint64(len(run)))
 		l.mu.Lock()
 		h.srunPos, h.srunEnd = 0, len(run)
 		it := h.popRunLocked()
@@ -199,6 +210,11 @@ func (h *Handle) spy() bool {
 		if len(runs) == 0 && len(stolen) == 0 {
 			continue
 		}
+		h.tel.Inc(telemetry.SpySteal)
+		for _, run := range runs {
+			h.tel.Add(telemetry.SpyItems, uint64(len(run)))
+		}
+		h.tel.Add(telemetry.SpyItems, uint64(len(stolen)))
 		h.spyCursor = (h.spyCursor + i + 1) % n
 		h.local.mu.Lock()
 		for _, run := range runs {
@@ -236,7 +252,8 @@ func (h *Handle) Flush() {
 	clear(h.srun[h.srunPos:h.srunEnd])
 	h.srunPos, h.srunEnd = 0, 0
 	l.mu.Unlock()
-	h.q.slsm.insertBatch(fresh) // fresh is sorted: srun was
+	h.tel.Inc(telemetry.RunBufferFlush)
+	h.q.slsm.insertBatch(fresh, h.tel) // fresh is sorted: srun was
 }
 
 // PeekMin reports the smallest of the local minimum, the buffered run head
@@ -256,7 +273,7 @@ func (h *Handle) PeekMin() (key, value uint64, ok bool) {
 		}
 	}
 	l.mu.Unlock()
-	scand, sok := h.q.slsm.peekCandidate(h.rng)
+	scand, sok := h.q.slsm.peekCandidate(h.rng, h.tel)
 	switch {
 	case lok && (!sok || lit.key <= scand.key):
 		return lit.key, lit.value, true
@@ -327,23 +344,28 @@ func (q *SLSM) Name() string { return fmt.Sprintf("slsm%d", q.k) }
 
 // Handle implements pq.Queue.
 func (q *SLSM) Handle() pq.Handle {
-	return &slsmHandle{q: q, rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15))}
+	return &slsmHandle{
+		q:   q,
+		rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15)),
+		tel: telemetry.NewShard(),
+	}
 }
 
 type slsmHandle struct {
 	q     *SLSM
 	rng   *rng.Xoroshiro
 	alloc itemAlloc
+	tel   *telemetry.Shard
 }
 
 // Insert implements pq.Handle: a single-item batch insert into the SLSM.
 func (h *slsmHandle) Insert(key, value uint64) {
-	h.q.s.insertBatch([]*item{h.alloc.new(key, value)})
+	h.q.s.insertBatch([]*item{h.alloc.new(key, value)}, h.tel)
 }
 
 // DeleteMin implements pq.Handle: a random pick from the pivot range.
 func (h *slsmHandle) DeleteMin() (key, value uint64, ok bool) {
-	it, ok := h.q.s.deleteMin(h.rng)
+	it, ok := h.q.s.deleteMin(h.rng, h.tel)
 	if !ok {
 		return 0, 0, false
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"cpq/internal/telemetry"
+)
 
 // localLSM is the per-thread LSM of the DLSM component. The owning handle
 // locks mu around every operation; the lock is uncontended except when
@@ -31,6 +35,10 @@ type localLSM struct {
 	// and block backing arrays, reused by inserts and tail merges.
 	shells []*localBlock
 	slices [][]*item
+
+	// tel is the owning handle's telemetry shard (nil outside handles);
+	// mergeTailLocked reports LocalMerge through it.
+	tel *telemetry.Shard
 }
 
 // Freelist bounds: past these, retired memory is left to the GC. They cap
@@ -132,6 +140,7 @@ func (l *localLSM) mergeTailLocked() {
 			break
 		}
 		la, lb := len(a.items)-a.first, len(b.items)-b.first
+		l.tel.Inc(telemetry.LocalMerge)
 		merged := mergeBlocksInto(l.scratchFor(la+lb), a.items[a.first:], b.items[b.first:])
 		l.size -= la + lb
 		l.blocks = l.blocks[:n-2]

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"cpq/internal/rng"
+	"cpq/internal/telemetry"
 )
 
 // slsm is the Shared LSM: a single global LSM published through an atomic
@@ -202,8 +203,9 @@ func carryPivots(cur *sstate, items []*item, k int) ([]*item, uint64) {
 // insertBatch merges a sorted run of items into the SLSM (the k-LSM hands
 // over a whole evicted DLSM block at once — "batch insert"). The items
 // slice is absorbed into the shared structure and must not be mutated by
-// the caller afterwards.
-func (s *slsm) insertBatch(items []*item) {
+// the caller afterwards. tel receives CASPublishRetry for every lost
+// publish race (nil is a valid sink).
+func (s *slsm) insertBatch(items []*item, tel *telemetry.Shard) {
 	if len(items) == 0 {
 		return
 	}
@@ -223,6 +225,7 @@ func (s *slsm) insertBatch(items []*item) {
 		// new state. (The C++ SLSM resolves this with helping on a shared
 		// block array; optimistic retry preserves lock-freedom system-wide —
 		// some thread always makes progress.)
+		tel.Inc(telemetry.CASPublishRetry)
 		publishBackoff(attempt)
 	}
 }
@@ -265,9 +268,9 @@ func lsmMergeShared(blocks []*sblock, nb *sblock) []*sblock {
 func (b *sblock) liveClass() int { return classOf(len(b.items) - int(b.first.Load())) }
 
 // deleteMin removes a uniformly random item from the pivot range.
-func (s *slsm) deleteMin(r *rng.Xoroshiro) (*item, bool) {
+func (s *slsm) deleteMin(r *rng.Xoroshiro, tel *telemetry.Shard) (*item, bool) {
 	var buf [1]*item
-	run := s.takeRun(r, ^uint64(0), buf[:0], 1)
+	run := s.takeRun(r, ^uint64(0), buf[:0], 1, tel)
 	if len(run) == 0 {
 		return nil, false
 	}
@@ -282,7 +285,11 @@ func (s *slsm) deleteMin(r *rng.Xoroshiro) (*item, bool) {
 // holds nothing at all. This is the k-LSM's batch consumption path: a
 // handle that wins the pivot race takes a short run in one state load
 // instead of re-reading state per item.
-func (s *slsm) takeRun(r *rng.Xoroshiro, bound uint64, dst []*item, max int) []*item {
+//
+// Telemetry: PivotLocalWin when the binary-searched prefix proves the
+// local candidate wins, CASItemTakeFail per pivot entry whose take() was
+// lost, SLSMRepublish/SLSMRepublishFail for pivot-range recomputes.
+func (s *slsm) takeRun(r *rng.Xoroshiro, bound uint64, dst []*item, max int, tel *telemetry.Shard) []*item {
 	got := len(dst)
 	// A bound of MaxUint64 means "take anything": an item keyed MaxUint64
 	// ties a local candidate at that bound, and serving the shared side on
@@ -297,20 +304,30 @@ func (s *slsm) takeRun(r *rng.Xoroshiro, bound uint64, dst []*item, max int) []*
 			if !unbounded {
 				m = lowerBound(st.pivots, bound)
 				if m == 0 {
+					tel.Inc(telemetry.PivotLocalWin)
 					return dst // every pivot >= bound: the local candidate wins
 				}
 			}
 			idx := int(r.Uintn(uint64(m)))
+			// Take failures are counted in a register and flushed once:
+			// the scan is the suite's hottest loop, and even a disabled
+			// telemetry branch per iteration is measurable here.
+			var takeFails uint64
 			for i := 0; i < m; i++ {
 				if it := st.pivots[idx]; it.take() {
 					dst = append(dst, it)
 					if len(dst)-got == max {
 						break
 					}
+				} else {
+					takeFails++
 				}
 				if idx++; idx == m {
 					idx = 0
 				}
+			}
+			if takeFails > 0 {
+				tel.Add(telemetry.CASItemTakeFail, takeFails)
 			}
 			if len(dst) > got {
 				sortRun(dst[got:])
@@ -321,6 +338,7 @@ func (s *slsm) takeRun(r *rng.Xoroshiro, bound uint64, dst []*item, max int) []*
 				// exist: by the pivot-reuse invariant every live non-pivot
 				// item is >= pivotMax >= bound too, so nothing shared can
 				// beat the local candidate — no republish needed.
+				tel.Inc(telemetry.PivotLocalWin)
 				return dst
 			}
 		}
@@ -335,9 +353,12 @@ func (s *slsm) takeRun(r *rng.Xoroshiro, bound uint64, dst []*item, max int) []*
 			continue
 		}
 		ns := &sstate{blocks: st.blocks, pivots: pivots, pivotMax: pivots[len(pivots)-1].key}
-		if !s.state.CompareAndSwap(st, ns) {
+		if s.state.CompareAndSwap(st, ns) {
+			tel.Inc(telemetry.SLSMRepublish)
+		} else {
 			// Another thread published (insert or republish); back off and
 			// use whatever is current.
+			tel.Inc(telemetry.SLSMRepublishFail)
 			publishBackoff(attempt)
 		}
 	}
@@ -378,7 +399,7 @@ func sortRun(run []*item) {
 // Like takeRun, it republishes a fresh pivot range when the current one is
 // fully consumed — otherwise the k-LSM would ignore a non-empty shared
 // component and return arbitrarily bad local minima, breaking the kP bound.
-func (s *slsm) peekCandidate(r *rng.Xoroshiro) (*item, bool) {
+func (s *slsm) peekCandidate(r *rng.Xoroshiro, tel *telemetry.Shard) (*item, bool) {
 	for attempt := 0; ; attempt++ {
 		st := s.state.Load()
 		if n := len(st.pivots); n > 0 {
@@ -399,7 +420,10 @@ func (s *slsm) peekCandidate(r *rng.Xoroshiro) (*item, bool) {
 			continue
 		}
 		ns := &sstate{blocks: st.blocks, pivots: pivots, pivotMax: pivots[len(pivots)-1].key}
-		if !s.state.CompareAndSwap(st, ns) {
+		if s.state.CompareAndSwap(st, ns) {
+			tel.Inc(telemetry.SLSMRepublish)
+		} else {
+			tel.Inc(telemetry.SLSMRepublishFail)
 			publishBackoff(attempt)
 		}
 	}

@@ -15,19 +15,19 @@ func slsmInsertKeys(s *slsm, keys ...uint64) {
 	for i, k := range sorted {
 		items[i] = &item{key: k, value: k}
 	}
-	s.insertBatch(items)
+	s.insertBatch(items, nil)
 }
 
 func TestSLSMEmpty(t *testing.T) {
 	s := newSLSM(4)
 	r := rng.New(1)
-	if _, ok := s.deleteMin(r); ok {
+	if _, ok := s.deleteMin(r, nil); ok {
 		t.Fatal("deleteMin on empty returned ok")
 	}
-	if _, ok := s.peekCandidate(r); ok {
+	if _, ok := s.peekCandidate(r, nil); ok {
 		t.Fatal("peekCandidate on empty returned ok")
 	}
-	s.insertBatch(nil) // no-op
+	s.insertBatch(nil, nil) // no-op
 	if s.approxSize() != 0 {
 		t.Fatal("size after nil batch")
 	}
@@ -48,7 +48,7 @@ func TestSLSMDrainWithinRelaxation(t *testing.T) {
 	// Sequential drain: the i-th deletion must return a key within k of the
 	// i-th smallest remaining — i.e. key < i + k + 1.
 	for i := 0; i < n; i++ {
-		it, ok := s.deleteMin(r)
+		it, ok := s.deleteMin(r, nil)
 		if !ok {
 			t.Fatalf("empty at %d", i)
 		}
@@ -57,7 +57,7 @@ func TestSLSMDrainWithinRelaxation(t *testing.T) {
 				i, it.key, i+k)
 		}
 	}
-	if _, ok := s.deleteMin(r); ok {
+	if _, ok := s.deleteMin(r, nil); ok {
 		t.Fatal("not empty after full drain")
 	}
 }
@@ -182,7 +182,7 @@ func TestSLSMConcurrentMixed(t *testing.T) {
 					batch = batch[:0]
 				}
 				if i%2 == 1 {
-					if it, ok := s.deleteMin(r); ok {
+					if it, ok := s.deleteMin(r, nil); ok {
 						mu.Lock()
 						deleted[it.key]++
 						mu.Unlock()
@@ -195,7 +195,7 @@ func TestSLSMConcurrentMixed(t *testing.T) {
 	// Drain the rest single-threaded.
 	r := rng.New(999)
 	for {
-		it, ok := s.deleteMin(r)
+		it, ok := s.deleteMin(r, nil)
 		if !ok {
 			break
 		}

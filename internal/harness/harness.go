@@ -18,6 +18,7 @@ import (
 	"cpq/internal/pq"
 	"cpq/internal/rng"
 	"cpq/internal/stats"
+	"cpq/internal/telemetry"
 	"cpq/internal/workload"
 )
 
@@ -82,10 +83,16 @@ type Result struct {
 	Duration time.Duration
 	// PerThread is the per-worker operation count (load-balance insight).
 	PerThread []uint64
-	// LatencyP50, LatencyP99 and LatencyMax are per-operation latencies in
-	// nanoseconds, measured on a sample of operations. Only populated by
-	// RunOps (the latency mode); zero otherwise.
-	LatencyP50, LatencyP99, LatencyMax float64
+	// LatencyP50, LatencyP99, LatencyP999 and LatencyMax are per-operation
+	// latencies in nanoseconds, measured on a sample of operations (every
+	// latencySampleEvery-th op). Populated by RunOps (the latency mode)
+	// always, and by Run when telemetry is enabled — then from the log₂
+	// histogram, so values are bucket upper bounds ("p99 ≤ X").
+	LatencyP50, LatencyP99, LatencyP999, LatencyMax float64
+	// Telemetry holds the queue-internals counter and latency-histogram
+	// deltas of the measured phase (prefill excluded: the snapshot pair
+	// brackets only the worker phase). Nil unless telemetry.Enabled.
+	Telemetry *telemetry.Snapshot
 }
 
 // MOps returns the throughput in million operations per second.
@@ -112,11 +119,18 @@ type paddedCounter struct {
 	_     [6]uint64
 }
 
-// Run executes one benchmark run.
+// Run executes one benchmark run. With telemetry enabled, a snapshot pair
+// brackets the worker phase (prefill activity is excluded) and every
+// latencySampleEvery-th operation is timed into the workers' private log₂
+// histograms; Result.Telemetry carries the diff.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	q := cfg.NewQueue(cfg.Threads)
 	PrefillQueue(q, cfg)
+	var before telemetry.Snapshot
+	if telemetry.Enabled {
+		before = telemetry.Capture()
+	}
 
 	var (
 		start    = make(chan struct{})
@@ -133,18 +147,33 @@ func Run(cfg Config) Result {
 				defer runtime.UnlockOSThread()
 			}
 			h := q.Handle()
+			tel := telemetry.NewShard()
 			r := rng.New(cfg.Seed + uint64(w)*0x6a09e667f3bcc909)
 			gen := keys.NewGenerator(cfg.KeyDist, r)
 			policy := workload.ForWorkerBatched(cfg.Workload, w, cfg.Threads, cfg.InsertFrac, cfg.BatchSize, r)
 			<-start
 			var ops, empty uint64
 			for !stop.Load() {
+				sample := telemetry.Enabled && ops%latencySampleEvery == 0
+				var t0 time.Time
+				if sample {
+					t0 = time.Now()
+				}
 				if policy.Next() == workload.Insert {
 					h.Insert(gen.Next(), uint64(w))
-				} else if k, _, ok := h.DeleteMin(); ok {
-					gen.Observe(k) // feeds the strict hold-model distributions
+					if sample {
+						tel.ObserveInsert(time.Since(t0).Nanoseconds())
+					}
 				} else {
-					empty++
+					k, _, ok := h.DeleteMin()
+					if sample {
+						tel.ObserveDelete(time.Since(t0).Nanoseconds())
+					}
+					if ok {
+						gen.Observe(k) // feeds the strict hold-model distributions
+					} else {
+						empty++
+					}
 				}
 				ops++
 			}
@@ -166,6 +195,17 @@ func Run(cfg Config) Result {
 		res.EmptyDeletes += counters[w].empty
 		res.PerThread[w] = counters[w].ops
 	}
+	if telemetry.Enabled {
+		snap := telemetry.Capture().Diff(before)
+		res.Telemetry = &snap
+		lat := snap.InsertLat.Merge(snap.DeleteLat)
+		if lat.Count() > 0 {
+			res.LatencyP50 = lat.Percentile(50)
+			res.LatencyP99 = lat.Percentile(99)
+			res.LatencyP999 = lat.Percentile(99.9)
+			res.LatencyMax = lat.Percentile(100)
+		}
+	}
 	return res
 }
 
@@ -177,7 +217,10 @@ const latencySampleEvery = 16
 // RunOps is the benchmark's latency mode (the paper's "throughput/latency
 // switch", Appendix F): instead of a fixed duration, each worker performs a
 // prescribed number of operations, the total elapsed time is measured, and
-// a sample of per-operation latencies yields P50/P99/max.
+// a sample of per-operation latencies yields P50/P99/P99.9/max (exact
+// sample percentiles, unlike Run's bucketed ones). With telemetry enabled
+// the sampled latencies additionally feed the per-kind histograms and
+// Result.Telemetry carries the measured phase's counter deltas.
 func RunOps(cfg Config, opsPerThread int) Result {
 	cfg = cfg.withDefaults()
 	if opsPerThread < 1 {
@@ -185,6 +228,10 @@ func RunOps(cfg Config, opsPerThread int) Result {
 	}
 	q := cfg.NewQueue(cfg.Threads)
 	PrefillQueue(q, cfg)
+	var before telemetry.Snapshot
+	if telemetry.Enabled {
+		before = telemetry.Capture()
+	}
 
 	var (
 		start    = make(chan struct{})
@@ -201,6 +248,7 @@ func RunOps(cfg Config, opsPerThread int) Result {
 				defer runtime.UnlockOSThread()
 			}
 			h := q.Handle()
+			tel := telemetry.NewShard()
 			r := rng.New(cfg.Seed + uint64(w)*0x6a09e667f3bcc909)
 			gen := keys.NewGenerator(cfg.KeyDist, r)
 			policy := workload.ForWorkerBatched(cfg.Workload, w, cfg.Threads, cfg.InsertFrac, cfg.BatchSize, r)
@@ -213,7 +261,8 @@ func RunOps(cfg Config, opsPerThread int) Result {
 				if sample {
 					t0 = time.Now()
 				}
-				if policy.Next() == workload.Insert {
+				isInsert := policy.Next() == workload.Insert
+				if isInsert {
 					h.Insert(gen.Next(), uint64(w))
 				} else if k, _, ok := h.DeleteMin(); ok {
 					gen.Observe(k)
@@ -221,7 +270,13 @@ func RunOps(cfg Config, opsPerThread int) Result {
 					empty++
 				}
 				if sample {
-					local = append(local, float64(time.Since(t0).Nanoseconds()))
+					ns := time.Since(t0).Nanoseconds()
+					local = append(local, float64(ns))
+					if isInsert {
+						tel.ObserveInsert(ns)
+					} else {
+						tel.ObserveDelete(ns)
+					}
 				}
 			}
 			flush(h)
@@ -246,7 +301,12 @@ func RunOps(cfg Config, opsPerThread int) Result {
 	if len(all) > 0 {
 		res.LatencyP50 = stats.Percentile(all, 50)
 		res.LatencyP99 = stats.Percentile(all, 99)
+		res.LatencyP999 = stats.Percentile(all, 99.9)
 		res.LatencyMax = stats.Percentile(all, 100)
+	}
+	if telemetry.Enabled {
+		snap := telemetry.Capture().Diff(before)
+		res.Telemetry = &snap
 	}
 	return res
 }
@@ -292,6 +352,9 @@ type Series struct {
 	Results []Result
 	// Throughput summarizes MOps/s across the repetitions.
 	Throughput stats.Summary
+	// Telemetry is the sum of the per-repetition counter deltas; nil unless
+	// telemetry was enabled for the runs.
+	Telemetry *telemetry.Snapshot
 }
 
 // RunRepeated executes reps runs of cfg and summarizes the throughput.
@@ -310,6 +373,13 @@ func RunRepeated(cfg Config, reps int) Series {
 		r := Run(c)
 		s.Results = append(s.Results, r)
 		mops = append(mops, r.MOps())
+		if r.Telemetry != nil {
+			if s.Telemetry == nil {
+				s.Telemetry = &telemetry.Snapshot{}
+			}
+			merged := s.Telemetry.Merge(*r.Telemetry)
+			s.Telemetry = &merged
+		}
 	}
 	s.Throughput = stats.Summarize(mops)
 	return s

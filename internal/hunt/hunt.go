@@ -18,6 +18,12 @@
 // root and sift top-down. Locks are always acquired parent-before-child,
 // and the size lock is never requested while holding a node lock, so the
 // two directions cannot deadlock.
+//
+// Registry identifier: "hunt". The queue is strict at quiescence;
+// cmd/pqverify checks it against rank 0. It appears in the extension-queue
+// grid of EXPERIMENTS.md, where it shows the design's known profile: fast
+// at one thread, degrading fastest with contention (the global size lock
+// and root serialize both operation kinds).
 package hunt
 
 import (

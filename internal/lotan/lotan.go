@@ -11,6 +11,12 @@
 // immediately, which concentrates memory contention at the list head — the
 // exact behaviour Lindén-Jonsson's batching improves on, and an interesting
 // ablation pair for the benchmarks.
+//
+// Registry identifier: "lotan"; strict at quiescence (cmd/pqverify checks
+// rank 0 within stamping slack). It shares internal/skiplist with linden
+// and spray, which makes it the exact-scan control in the spray-vs-scan
+// ablation (DESIGN.md §7): same substrate, strict head scan instead of a
+// spray walk.
 package lotan
 
 import (

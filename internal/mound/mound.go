@@ -13,6 +13,11 @@
 // node's list — an O(log log N) expected probe. delete_min pops the root
 // head and restores the invariant by "moundifying": swapping whole lists
 // toward the root, hand-over-hand, parent locked before child.
+//
+// Registry identifier: "mound"; strict at quiescence (cmd/pqverify checks
+// rank 0 within stamping slack). The randomized insertion probe needs a
+// per-goroutine RNG, which lives on the Handle — one more reason handles
+// must not be shared between goroutines.
 package mound
 
 import (

@@ -36,6 +36,7 @@ import (
 
 	"cpq/internal/pq"
 	"cpq/internal/rng"
+	"cpq/internal/telemetry"
 )
 
 // DefaultStickiness and DefaultBuffer are the engineered variant's default
@@ -92,6 +93,7 @@ func (q *Queue) Buffer() int { return q.buf }
 type EHandle struct {
 	q   *Queue
 	rng *rng.Xoroshiro
+	tel *telemetry.Shard
 
 	mu  sync.Mutex
 	ins []pq.Item // pending insertions, sorted ascending by key
@@ -142,6 +144,7 @@ func (h *EHandle) flushInsLocked() {
 	if len(h.ins) == 0 {
 		return
 	}
+	h.tel.Inc(telemetry.MQInsFlush)
 	s := h.lockForInsert()
 	for _, it := range h.ins {
 		s.heap.Push(it)
@@ -165,6 +168,7 @@ func (h *EHandle) lockForInsert() *subqueue {
 			return s
 		}
 		h.insLeft = 0 // contended: abandon the sticky target
+		h.tel.Inc(telemetry.MQStickReset)
 	}
 	for attempt := 0; attempt < insertTryLimit; attempt++ {
 		i := int(h.rng.Uintn(n))
@@ -219,6 +223,7 @@ func (h *EHandle) refillLocked() (pq.Item, bool) {
 			h.delLeft--
 			if min == emptyKey {
 				pick, h.delLeft = -1, 0 // sticky target drained; resample
+				h.tel.Inc(telemetry.MQStickReset)
 			}
 		}
 		if pick < 0 {
@@ -234,8 +239,10 @@ func (h *EHandle) refillLocked() (pq.Item, bool) {
 		s := &q.qs[pick]
 		if !s.mu.TryLock() {
 			h.delLeft = 0
+			h.tel.Inc(telemetry.MQStickReset)
 			continue
 		}
+		h.tel.Inc(telemetry.MQDelRefill)
 		h.del = popBatchDescending(s.heap, h.del[:0], q.buf)
 		s.updateMin()
 		s.mu.Unlock()
@@ -281,6 +288,7 @@ func popBatchDescending(sh SubHeap, dst []pq.Item, max int) []pq.Item {
 // h.mu held (the registry includes h itself).
 func (h *EHandle) sweepBuffered() (key, value uint64, ok bool) {
 	q := h.q
+	h.tel.Inc(telemetry.MQSweep)
 	if k, v, found := q.sweepSubqueues(); found {
 		return k, v, true
 	}

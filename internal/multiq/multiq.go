@@ -26,6 +26,7 @@ import (
 	"cpq/internal/pq"
 	"cpq/internal/rng"
 	"cpq/internal/seqheap"
+	"cpq/internal/telemetry"
 )
 
 // DefaultC is the queues-per-thread factor; the paper's benchmarks set c=4.
@@ -128,19 +129,20 @@ func (q *Queue) NumQueues() int { return len(q.qs) }
 func (q *Queue) Handle() pq.Handle {
 	r := rng.New(q.seed.Add(0x9e3779b97f4a7c15))
 	if q.stick > 1 || q.buf > 1 {
-		h := &EHandle{q: q, rng: r}
+		h := &EHandle{q: q, rng: r, tel: telemetry.NewShard()}
 		q.hmu.Lock()
 		q.handles = append(q.handles, h)
 		q.hmu.Unlock()
 		return h
 	}
-	return &Handle{q: q, rng: r}
+	return &Handle{q: q, rng: r, tel: telemetry.NewShard()}
 }
 
 // Handle is a per-goroutine handle carrying the queue-selection RNG.
 type Handle struct {
 	q   *Queue
 	rng *rng.Xoroshiro
+	tel *telemetry.Shard
 }
 
 var _ pq.Handle = (*Handle)(nil)
@@ -220,6 +222,7 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 // sweep scans every sub-queue once under its lock; it is the emptiness
 // oracle and the last resort when sampling keeps missing.
 func (h *Handle) sweep() (key, value uint64, ok bool) {
+	h.tel.Inc(telemetry.MQSweep)
 	return h.q.sweepSubqueues()
 }
 

@@ -10,6 +10,11 @@
 // All operations are O(log n) expected: the treap uses the id as a hashed
 // priority source, so the structure needs no external RNG and a given
 // history always replays to the same tree shape.
+//
+// The sole consumer is internal/quality (sequential replay; nothing here
+// is safe for concurrent use). Nodes are recycled through a freelist
+// because a replay performs exactly one Delete per Insert and the paper's
+// quality runs replay millions of operations.
 package ostree
 
 // Tree is an order-statistic treap. The zero value is an empty tree.

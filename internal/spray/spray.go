@@ -24,6 +24,7 @@ import (
 	"cpq/internal/pq"
 	"cpq/internal/rng"
 	"cpq/internal/skiplist"
+	"cpq/internal/telemetry"
 )
 
 // Params are the spray-walk tuning parameters of the original paper.
@@ -110,13 +111,18 @@ func (q *Queue) Geometry() (height, maxJump int) { return q.height, q.maxJump }
 
 // Handle implements pq.Queue.
 func (q *Queue) Handle() pq.Handle {
-	return &Handle{q: q, rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15))}
+	return &Handle{
+		q:   q,
+		rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15)),
+		tel: telemetry.NewShard(),
+	}
 }
 
 // Handle is a per-goroutine handle carrying the spray RNG.
 type Handle struct {
 	q   *Queue
 	rng *rng.Xoroshiro
+	tel *telemetry.Shard
 }
 
 var _ pq.Handle = (*Handle)(nil)
@@ -137,7 +143,9 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 		if n := h.sprayOnce(); n != nil {
 			return n.Key, n.Value, true
 		}
+		h.tel.Inc(telemetry.SprayMiss)
 	}
+	h.tel.Inc(telemetry.SprayFallback)
 	// Fallback: strict scan from the head (also the emptiness check).
 	// With P=1 the spray geometry is tiny, so this path mirrors an exact
 	// delete_min queue.

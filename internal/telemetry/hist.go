@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log₂ latency buckets. Bucket 0 holds
+// observations of 0..1ns; bucket i (i ≥ 1) holds observations v with
+// 2^(i-1) < v ≤ 2^i ns, i.e. bits.Len64(v-1) == i. 64 buckets cover the
+// full uint64 nanosecond range, so no observation is ever clipped; an op
+// above ~146ns lands in bucket 8+, and a 1-second outlier in bucket 30.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket log₂ latency histogram. Like a Shard's
+// counters it is owned by one writer and read by Capture, so buckets are
+// atomics; observe never allocates. The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+}
+
+// observe records one latency in nanoseconds. Negative observations (clock
+// went backwards across a suspend) are recorded as zero rather than
+// discarded, so Count stays the number of calls.
+func (h *Histogram) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(uint64(ns))].Add(1)
+}
+
+// bucketOf maps a nanosecond value to its log₂ bucket index.
+func bucketOf(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(v - 1)
+}
+
+// bucketLow and bucketHigh bound bucket i: (low, high] in nanoseconds.
+func bucketLow(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return uint64(1) << (i - 1)
+}
+
+func bucketHigh(i int) uint64 {
+	if i == 0 {
+		return 1
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1) << i
+}
+
+// HistSnapshot is an immutable copy of a Histogram's buckets, produced by
+// Capture and manipulated value-wise (Diff/Merge/Percentile).
+type HistSnapshot struct {
+	Buckets [histBuckets]uint64
+}
+
+func (h *HistSnapshot) accumulate(src *Histogram) {
+	for i := range src.buckets {
+		h.Buckets[i] += src.buckets[i].Load()
+	}
+}
+
+func (h HistSnapshot) Diff(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range h.Buckets {
+		d.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
+func (h HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	var m HistSnapshot
+	for i := range h.Buckets {
+		m.Buckets[i] = h.Buckets[i] + o.Buckets[i]
+	}
+	return m
+}
+
+// Count returns the number of recorded observations.
+func (h HistSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range h.Buckets {
+		n += c
+	}
+	return n
+}
+
+// Percentile returns the p-th percentile (0..100) in nanoseconds,
+// resolved to the upper bound of the bucket containing that rank — the
+// same pessimistic convention as the rank-error histogram: "p99 ≤ X" is a
+// claim the data supports, an interpolated midpoint would not be. Returns
+// 0 for an empty histogram.
+func (h HistSnapshot) Percentile(p float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	// rank is the 1-based index of the observation that dominates the
+	// percentile (nearest-rank definition).
+	rank := uint64(p/100*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= rank {
+			return float64(bucketHigh(i))
+		}
+	}
+	return float64(bucketHigh(histBuckets - 1))
+}
+
+// String renders the nonzero buckets compactly, e.g.
+// "≤128ns:913 ≤256ns:87 ≤1.0µs:3", for report appendices.
+func (h HistSnapshot) String() string {
+	var b strings.Builder
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "≤%s:%d", nsString(bucketHigh(i)), c)
+	}
+	if b.Len() == 0 {
+		return "(empty)"
+	}
+	return b.String()
+}
+
+// nsString renders a nanosecond bound with a human unit (ns/µs/ms/s).
+func nsString(ns uint64) string {
+	switch {
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.1fs", float64(ns)/1e9)
+	}
+}

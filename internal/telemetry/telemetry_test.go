@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withEnabled runs f with telemetry on and restores the previous state and
+// registry afterwards. Tests in this package are sequential (none call
+// t.Parallel), so flipping the plain bool here is safe.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := Enabled
+	Enabled = true
+	defer func() {
+		Enabled = prev
+		Reset()
+	}()
+	Reset()
+	f()
+}
+
+func TestCounterMetaComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < NumCounters; c++ {
+		if c.Name() == "" {
+			t.Errorf("counter %d has no name", c)
+		}
+		if c.Help() == "" {
+			t.Errorf("counter %s has no help text", c.Name())
+		}
+		if seen[c.Name()] {
+			t.Errorf("duplicate counter name %q", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+}
+
+// TestShardingUnderRace exercises the intended concurrency pattern — each
+// goroutine increments only its own shard, Capture aggregates after the
+// join — and checks the totals. Run under -race this also proves the
+// pattern is race-free.
+func TestShardingUnderRace(t *testing.T) {
+	withEnabled(t, func() {
+		const workers = 8
+		const perWorker = 10_000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := NewShard()
+				for i := 0; i < perWorker; i++ {
+					s.Inc(CASPublishRetry)
+					s.Add(SpyItems, 3)
+					s.ObserveInsert(int64(i))
+				}
+			}()
+		}
+		wg.Wait()
+		snap := Capture()
+		if got, want := snap.Counts[CASPublishRetry], uint64(workers*perWorker); got != want {
+			t.Errorf("CASPublishRetry = %d, want %d", got, want)
+		}
+		if got, want := snap.Counts[SpyItems], uint64(3*workers*perWorker); got != want {
+			t.Errorf("SpyItems = %d, want %d", got, want)
+		}
+		if got, want := snap.InsertLat.Count(), uint64(workers*perWorker); got != want {
+			t.Errorf("InsertLat.Count = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, // bucket 0 holds 0..1ns
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {16, 4},
+		{128, 7}, {129, 8}, {256, 8},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		// Consistency: v must lie in (bucketLow, bucketHigh].
+		b := bucketOf(c.v)
+		if c.v > bucketHigh(b) || (b > 0 && c.v <= bucketLow(b)) {
+			t.Errorf("value %d outside its bucket %d bounds (%d, %d]",
+				c.v, b, bucketLow(b), bucketHigh(b))
+		}
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	// 99 observations in bucket ≤128ns, 1 in bucket ≤1024ns.
+	for i := 0; i < 99; i++ {
+		h.observe(100)
+	}
+	h.observe(1000)
+	var s HistSnapshot
+	s.accumulate(&h)
+	if got := s.Percentile(50); got != 128 {
+		t.Errorf("p50 = %v, want 128 (bucket upper bound)", got)
+	}
+	if got := s.Percentile(99); got != 128 {
+		t.Errorf("p99 = %v, want 128", got)
+	}
+	if got := s.Percentile(100); got != 1024 {
+		t.Errorf("p100 = %v, want 1024", got)
+	}
+	if got := (HistSnapshot{}).Percentile(50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+func TestSnapshotDiffMerge(t *testing.T) {
+	withEnabled(t, func() {
+		s := NewShard()
+		s.Inc(LocalMerge)
+		s.Inc(LocalMerge)
+		s.ObserveDelete(100)
+		before := Capture()
+		s.Inc(LocalMerge)
+		s.Add(SharedRunItems, 7)
+		s.ObserveDelete(200)
+		delta := Capture().Diff(before)
+		if got := delta.Counts[LocalMerge]; got != 1 {
+			t.Errorf("diff LocalMerge = %d, want 1", got)
+		}
+		if got := delta.Counts[SharedRunItems]; got != 7 {
+			t.Errorf("diff SharedRunItems = %d, want 7", got)
+		}
+		if got := delta.DeleteLat.Count(); got != 1 {
+			t.Errorf("diff DeleteLat.Count = %d, want 1", got)
+		}
+		sum := delta.Merge(delta)
+		if got := sum.Counts[SharedRunItems]; got != 14 {
+			t.Errorf("merge SharedRunItems = %d, want 14", got)
+		}
+		if delta.Zero() {
+			t.Error("nonzero delta reports Zero()")
+		}
+		if !(Snapshot{}).Zero() {
+			t.Error("empty snapshot does not report Zero()")
+		}
+	})
+}
+
+// TestDisabledShardShared: with telemetry off, NewShard hands out one shared
+// unregistered sink — no allocation, no registry growth.
+func TestDisabledShardShared(t *testing.T) {
+	if Enabled {
+		t.Fatal("test requires the default Enabled=false")
+	}
+	a, b := NewShard(), NewShard()
+	if a != b || a != &disabledShard {
+		t.Error("disabled NewShard did not return the shared sink")
+	}
+	Reset()
+	NewShard().Inc(LocalMerge)
+	if !Capture().Zero() {
+		t.Error("disabled shard leaked events into Capture")
+	}
+}
+
+func TestNilShardSafe(t *testing.T) {
+	withEnabled(t, func() {
+		var s *Shard
+		s.Inc(LocalMerge) // must not panic
+		s.Add(SpyItems, 5)
+		s.ObserveInsert(10)
+		s.ObserveDelete(10)
+	})
+}
+
+// TestOpPathAllocs guards the "no allocation on the operation path" rule in
+// both states of the Enabled flag.
+func TestOpPathAllocs(t *testing.T) {
+	check := func(label string, s *Shard) {
+		if n := testing.AllocsPerRun(100, func() {
+			s.Inc(CASItemTakeFail)
+			s.Add(SharedRunItems, 2)
+			s.ObserveInsert(150)
+			s.ObserveDelete(150)
+		}); n != 0 {
+			t.Errorf("%s: %v allocs per op-path round, want 0", label, n)
+		}
+	}
+	check("disabled", NewShard())
+	withEnabled(t, func() { check("enabled", NewShard()) })
+}
+
+func TestReportRendering(t *testing.T) {
+	withEnabled(t, func() {
+		s := NewShard()
+		s.Inc(SLSMRepublish)
+		s.Add(CASItemTakeFail, 42)
+		s.ObserveInsert(100)
+		snap := Capture()
+		table := snap.Table("  ", 1000)
+		for _, want := range []string{"slsm-republish", "cas-take-fail", "42", "/op"} {
+			if !strings.Contains(table, want) {
+				t.Errorf("Table missing %q in:\n%s", want, table)
+			}
+		}
+		if strings.Contains(table, "local-merge") {
+			t.Errorf("Table includes zero counter:\n%s", table)
+		}
+		lat := snap.LatencySummary("  ")
+		if !strings.Contains(lat, "insert") || !strings.Contains(lat, "p99") {
+			t.Errorf("LatencySummary unexpected:\n%s", lat)
+		}
+	})
+	empty := Snapshot{}
+	if got := empty.Table("", 0); !strings.Contains(got, "no internal events") {
+		t.Errorf("empty Table = %q, want explanatory line", got)
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm check repro verify profile examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm check chaos repro verify profile examples clean
 
 all: build vet test
 
@@ -21,11 +21,25 @@ race:
 
 # CI gate: vet + build everything, then the race-sensitive packages (the
 # engineered MultiQueue's buffer stealing, the k-LSM's pooled hot path with
-# spy/run-buffer stealing, and the quality replay) under the race detector.
+# spy/run-buffer stealing, the quality replay, and the chaos checker) under
+# the race detector, plus a short-budget chaos pass over the whole registry.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/core/ ./internal/multiq/ ./internal/quality/
+	$(GO) test -race ./internal/core/ ./internal/multiq/ ./internal/quality/ ./internal/chaos/
+	$(GO) run -race ./cmd/pqverify -chaos -ops 1500
+
+# Fault-injection stress pass: every registry queue under seeded schedule
+# perturbations and forced CAS/try-lock failures, with item-conservation,
+# emptiness-oracle, Flusher-contract and relaxation-bound checking (see
+# DESIGN.md §6). A failure prints a replay line; rerun it verbatim to
+# reproduce the same injected decision sequence.
+#   make chaos                # default budget
+#   make chaos CHAOS_OPS=50000 CHAOS_THREADS=8
+CHAOS_OPS     ?= 10000
+CHAOS_THREADS ?= 4
+chaos:
+	$(GO) run -race ./cmd/pqverify -chaos -ops $(CHAOS_OPS) -threads $(CHAOS_THREADS)
 
 # The engineered-MultiQueue acceptance bench (seed multiq vs. multiq-s4-b8
 # vs. klsm4096 at 8 threads); benchstat-comparable output.

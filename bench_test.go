@@ -16,13 +16,14 @@
 // Sub-benchmarks are <queue>/t<threads>. Benchmark prefill is reduced to
 // 100k items (vs the CLI's 10^6) to keep `go test -bench=.` tractable; use
 // cmd/pqbench for paper-scale parameters.
-package cpq
+package cpq_test
 
 import (
 	"fmt"
 	"sync"
 	"testing"
 
+	"cpq"
 	"cpq/internal/cli"
 	"cpq/internal/harness"
 	"cpq/internal/keys"
@@ -38,7 +39,7 @@ var benchThreads = []int{1, 4}
 
 func factory(name string) func(int) pq.Queue {
 	return func(t int) pq.Queue {
-		q, err := New(name, t)
+		q, err := cpq.NewQueue(name, cpq.Options{Threads: t})
 		if err != nil {
 			panic(err)
 		}
@@ -84,7 +85,7 @@ func benchThroughputCell(b *testing.B, newQueue func(int) pq.Queue, p int, wl wo
 }
 
 func benchFigure(b *testing.B, wl workload.Kind, kd keys.Distribution) {
-	for _, name := range PaperNames() {
+	for _, name := range cpq.PaperNames() {
 		for _, p := range benchThreads {
 			b.Run(fmt.Sprintf("%s/t%d", name, p), func(b *testing.B) {
 				benchThroughputCell(b, factory(name), p, wl, kd)
@@ -134,7 +135,7 @@ func benchQualityCell(b *testing.B, name string, p int, wl workload.Kind, kd key
 }
 
 func benchTable(b *testing.B, wl workload.Kind, kd keys.Distribution) {
-	for _, name := range PaperNames() {
+	for _, name := range cpq.PaperNames() {
 		for _, p := range []int{2, 4, 8} { // the paper's quality thread counts
 			b.Run(fmt.Sprintf("%s/t%d", name, p), func(b *testing.B) {
 				benchQualityCell(b, name, p, wl, kd)
@@ -158,7 +159,7 @@ func BenchmarkTable5a(b *testing.B) { benchTable(b, workload.Alternating, keys.U
 func BenchmarkTable5b(b *testing.B) { benchTable(b, workload.Alternating, keys.Ascending) }
 func BenchmarkTable5c(b *testing.B) { benchTable(b, workload.Alternating, keys.Descending) }
 
-// --- Ablations (design-choice benches from DESIGN.md §7) -----------------
+// --- Ablations (design-choice benches from DESIGN.md §8) -----------------
 
 // AblationKLSMRelaxation sweeps the k-LSM's k, including k=16 which the
 // paper says behaves like the Lindén queue, on the headline cell (4a).
@@ -166,7 +167,7 @@ func BenchmarkAblationKLSMRelaxation(b *testing.B) {
 	for _, k := range []int{16, 128, 256, 4096} {
 		for _, p := range benchThreads {
 			b.Run(fmt.Sprintf("k%d/t%d", k, p), func(b *testing.B) {
-				benchThroughputCell(b, func(int) pq.Queue { return NewKLSM(k) },
+				benchThroughputCell(b, func(int) pq.Queue { return cpq.NewKLSM(k) },
 					p, workload.Uniform, keys.Uniform32)
 			})
 		}
@@ -191,7 +192,7 @@ func BenchmarkAblationMultiQueueC(b *testing.B) {
 	for _, c := range []int{1, 2, 4, 8} {
 		for _, p := range benchThreads {
 			b.Run(fmt.Sprintf("c%d/t%d", c, p), func(b *testing.B) {
-				benchThroughputCell(b, func(t int) pq.Queue { return NewMultiQueue(c, t) },
+				benchThroughputCell(b, func(t int) pq.Queue { return cpq.NewMultiQueue(c, t) },
 					p, workload.Uniform, keys.Uniform32)
 			})
 		}
@@ -204,7 +205,7 @@ func BenchmarkAblationLindenBound(b *testing.B) {
 	for _, bound := range []int{1, 32, 128, 512} {
 		for _, p := range benchThreads {
 			b.Run(fmt.Sprintf("bound%d/t%d", bound, p), func(b *testing.B) {
-				benchThroughputCell(b, func(int) pq.Queue { return NewLindenBound(bound) },
+				benchThroughputCell(b, func(int) pq.Queue { return cpq.NewLindenBound(bound) },
 					p, workload.Uniform, keys.Uniform32)
 			})
 		}
@@ -231,9 +232,9 @@ func BenchmarkAblationMultiQueueSubHeap(b *testing.B) {
 		name string
 		mk   func(t int) pq.Queue
 	}{
-		{"binary", func(t int) pq.Queue { return NewMultiQueue(4, t) }},
-		{"4ary", func(t int) pq.Queue { return NewMultiQueueDAry(4, t, 4) }},
-		{"pairing", func(t int) pq.Queue { return NewMultiQueuePairing(4, t) }},
+		{"binary", func(t int) pq.Queue { return cpq.NewMultiQueue(4, t) }},
+		{"4ary", func(t int) pq.Queue { return cpq.NewMultiQueueDAry(4, t, 4) }},
+		{"pairing", func(t int) pq.Queue { return cpq.NewMultiQueuePairing(4, t) }},
 	} {
 		for _, p := range benchThreads {
 			b.Run(fmt.Sprintf("%s/t%d", tc.name, p), func(b *testing.B) {
@@ -290,7 +291,7 @@ func BenchmarkAblationMultiQueueStickBuf(b *testing.B) {
 		for _, p := range benchThreads {
 			b.Run(fmt.Sprintf("s%d-b%d/t%d", tc.s, tc.bsz, p), func(b *testing.B) {
 				benchThroughputCell(b, func(t int) pq.Queue {
-					return NewMultiQueueEngineered(4, t, tc.s, tc.bsz)
+					return cpq.NewMultiQueueEngineered(4, t, tc.s, tc.bsz)
 				}, p, workload.Uniform, keys.Uniform32)
 			})
 		}
@@ -324,7 +325,7 @@ func BenchmarkKLSM(b *testing.B) {
 func BenchmarkKLSMInsertDeleteMin(b *testing.B) {
 	for _, k := range []int{128, 4096} {
 		b.Run(fmt.Sprintf("klsm%d", k), func(b *testing.B) {
-			q := NewKLSM(k)
+			q := cpq.NewKLSM(k)
 			h := q.Handle()
 			r := rng.New(1)
 			for i := 0; i < 3*k; i++ { // reach steady state before measuring

@@ -86,10 +86,7 @@ func main() {
 	if *queuesF != "" {
 		queueNames = cli.ExpandQueues(cli.ParseList(*queuesF))
 	}
-	for _, name := range queueNames { // validate before burning benchmark time
-		_, err := cpq.New(name, 1)
-		exitOn(err)
-	}
+	cli.ValidateQueues("pqbench", queueNames) // validate before burning benchmark time
 
 	header := fmt.Sprintf("# machine=%s workload=%s keys=%s prefill=%d duration=%v reps=%d",
 		*machine, wl, kd, *prefill, *duration, *reps)
@@ -118,7 +115,7 @@ func main() {
 			name := name
 			cfg := harness.Config{
 				NewQueue: func(t int) pq.Queue {
-					q, err := cpq.New(name, t)
+					q, err := cpq.NewQueue(name, cpq.Options{Threads: t})
 					exitOn(err)
 					return q
 				},

@@ -56,10 +56,7 @@ func main() {
 	if *queuesF != "" {
 		queueNames = cli.ExpandQueues(cli.ParseList(*queuesF))
 	}
-	for _, name := range queueNames {
-		_, err := cpq.New(name, 1)
-		exitOn(err)
-	}
+	cli.ValidateQueues("pqquality", queueNames)
 
 	fmt.Printf("# machine=%s workload=%s keys=%s prefill=%d ops/thread=%d\n",
 		*machine, wl, kd, *prefill, *ops)
@@ -76,7 +73,7 @@ func main() {
 		for _, p := range threads {
 			res := quality.Run(quality.Config{
 				NewQueue: func(t int) pq.Queue {
-					q, err := cpq.New(name, t)
+					q, err := cpq.NewQueue(name, cpq.Options{Threads: t})
 					exitOn(err)
 					return q
 				},

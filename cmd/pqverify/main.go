@@ -4,13 +4,14 @@
 // claimed relaxation bounds hold".
 //
 // For every queue it runs the rank-error benchmark and compares the
-// observed rank distribution against the structure's advertised bound:
+// observed rank distribution against the structure's advertised bound
+// (quality.ClaimedBound):
 //
 //	klsm<k>     rank <= k·P           (lock-free k-LSM guarantee)
 //	slsm<k>     rank <= k             (shared component alone)
 //	spray       rank = O(P·log³P)     (checked against C·P·log³P, C=32)
 //	linden, globallock, lotan, hunt, mound, cbpq — strict (rank 0)
-//	multiq, dlsm — no published bound (reported, not judged)
+//	multiq*, dlsm — no published bound (reported, not judged)
 //
 // The log-stamping used to reconstruct the linear history is pessimistic
 // (see internal/quality): operations in flight at the same time may be
@@ -18,17 +19,23 @@
 // concurrent operations. The tool therefore verifies against the claimed
 // bound plus a concurrency slack of P (overridable with -slack), and flags
 // a queue only when the violation rate beyond that exceeds the tolerance.
+//
+// With -chaos the tool instead runs every queue through the fault-injection
+// stress harness (internal/chaos): seeded schedule perturbations and forced
+// CAS/try-lock failures at the structures' failpoints, mid-run handle
+// abandonment, and a forensic pass checking item conservation (nothing
+// lost, nothing deleted twice), the emptiness oracle, the Flusher recovery
+// contract and the relaxation bounds. A failure prints the seed; re-running
+// with -seed <value> replays the same injected decision sequence.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
-	"strconv"
-	"strings"
 
 	"cpq"
+	"cpq/internal/chaos"
 	"cpq/internal/cli"
 	"cpq/internal/keys"
 	"cpq/internal/pq"
@@ -43,8 +50,9 @@ func main() {
 		ops       = flag.Int("ops", 30_000, "operations per thread")
 		prefill   = flag.Int("prefill", 50_000, "prefill size")
 		tolerance = flag.Float64("tolerance", 0.001, "accepted fraction of out-of-bound deletions (stamping pessimism)")
-		slack     = flag.Int("slack", -1, "rank slack for in-flight concurrent ops (-1 = threads)")
-		seed      = flag.Uint64("seed", 0, "RNG seed")
+		slack     = flag.Int("slack", -1, "rank slack for in-flight concurrent ops (-1 = default)")
+		seed      = flag.Uint64("seed", 0, "RNG seed (chaos: replays a failing run's injection)")
+		chaosF    = flag.Bool("chaos", false, "run the fault-injection stress harness instead of the plain rank check")
 	)
 	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
@@ -57,20 +65,26 @@ func main() {
 
 	names := cpq.Names()
 	if *queuesF != "" {
-		names = strings.Split(*queuesF, ",")
+		names = cli.ParseList(*queuesF)
 	}
+	cli.ValidateQueues("pqverify", names)
+
+	if *chaosF {
+		if runChaos(names, *threadsF, *ops, *seed, *slack, *tolerance) {
+			stopProf() // flush profiles: os.Exit skips deferred calls
+			os.Exit(1)
+		}
+		return
+	}
+
 	failures := 0
 	fmt.Printf("%-12s %-14s %10s %10s %12s  %s\n",
 		"queue", "claimed bound", "max rank", "mean", "violations", "verdict")
-	for _, raw := range names {
-		name := strings.TrimSpace(raw)
-		if _, err := cpq.New(name, 1); err != nil {
-			fmt.Fprintln(os.Stderr, "pqverify:", err)
-			os.Exit(2)
-		}
+	for _, name := range names {
+		name := name
 		res := quality.Run(quality.Config{
 			NewQueue: func(p int) pq.Queue {
-				q, err := cpq.New(name, p)
+				q, err := cpq.NewQueue(name, cpq.Options{Threads: p})
 				if err != nil {
 					panic(err)
 				}
@@ -83,8 +97,10 @@ func main() {
 			Prefill:      *prefill,
 			Seed:         *seed,
 		})
-		bound, kind := claimedBound(name, *threadsF)
-		if kind == "none" {
+		// The benchmark adds a prefill handle beyond the workers, so the
+		// effective P for per-handle bounds (kP) is threads+1.
+		bound, kind := quality.ClaimedBound(name, *threadsF+1)
+		if kind == quality.BoundNone {
 			fmt.Printf("%-12s %-14s %10d %10.1f %12s  %s\n",
 				name, "(none)", res.MaxRank, res.MeanRank, "-", "reported only")
 			continue
@@ -93,7 +109,7 @@ func main() {
 		if sl < 0 {
 			sl = *threadsF
 		}
-		violations := violationsAbove(res, bound+sl)
+		violations := quality.ViolationsAbove(res, bound+sl)
 		frac := float64(violations) / float64(res.Deletions)
 		verdict := "PASS"
 		if frac > *tolerance {
@@ -111,50 +127,43 @@ func main() {
 	fmt.Println("\nall claimed bounds hold (within stamping-pessimism tolerance)")
 }
 
-// claimedBound returns the advertised rank bound for a queue at P threads
-// and its kind: "bounded", "strict" or "none".
-func claimedBound(name string, p int) (int, string) {
-	n := strings.ToLower(name)
-	switch {
-	case strings.HasPrefix(n, "klsm"):
-		k, _ := strconv.Atoi(n[4:])
-		// The benchmark adds handles beyond the workers (prefill handle),
-		// so the effective P for the kP guarantee is threads+1.
-		return k * (p + 1), "bounded"
-	case strings.HasPrefix(n, "slsm"):
-		k, _ := strconv.Atoi(n[4:])
-		return k, "bounded"
-	case n == "spray":
-		lg := math.Log2(float64(p) + 1)
-		return int(32 * float64(p) * lg * lg * lg), "bounded"
-	case n == "multiq" || n == "dlsm":
-		return 0, "none"
-	default:
-		return 0, "strict"
+// runChaos stress-tests every named queue under fault injection and reports
+// per-queue verdicts; it returns true if any invariant was violated.
+func runChaos(names []string, threads, ops int, seed uint64, slack int, tolerance float64) (failed bool) {
+	fmt.Printf("chaos: threads=%d ops/thread=%d", threads, ops)
+	if seed != 0 {
+		fmt.Printf(" seed=%#x (replay)", seed)
 	}
-}
-
-// violationsAbove counts replayed deletions whose rank exceeded bound,
-// using the histogram's power-of-two buckets (conservative: a bucket
-// straddling the bound counts fully only above it via exact max check).
-func violationsAbove(res quality.Result, bound int) uint64 {
-	if res.MaxRank <= bound {
-		return 0
-	}
-	var v uint64
-	for b, c := range res.Histogram {
-		if c == 0 {
-			continue
-		}
-		lo := 0
-		if b == 1 {
-			lo = 1
-		} else if b > 1 {
-			lo = 1 << (b - 1)
-		}
-		if lo > bound {
-			v += c
+	fmt.Println()
+	fmt.Printf("%-14s %-42s %s\n", "queue", "run", "verdict")
+	for _, name := range names {
+		name := name
+		res := chaos.Check(chaos.CheckConfig{
+			Name: name,
+			NewQueue: func(p int) pq.Queue {
+				q, err := cpq.NewQueue(name, cpq.Options{Threads: p})
+				if err != nil {
+					panic(err)
+				}
+				return q
+			},
+			Threads:      threads,
+			OpsPerThread: ops,
+			Seed:         seed,
+			Slack:        slack,
+			Tolerance:    tolerance,
+		})
+		fmt.Println(res)
+		if res.Failed() {
+			failed = true
+			fmt.Printf("    replay: pqverify -chaos -queues %s -threads %d -ops %d -seed %#x\n",
+				name, threads, ops, res.Seed)
 		}
 	}
-	return v
+	if failed {
+		fmt.Println("\nchaos: invariant violations found (replay lines above)")
+	} else {
+		fmt.Println("\nchaos: all invariants held under fault injection")
+	}
+	return failed
 }

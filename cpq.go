@@ -28,9 +28,11 @@
 //   - NewMound: a lock-based Mound (tree of sorted lists).
 //   - NewCBPQ: a chunk-based priority queue (FAA-filled chunks, strict).
 //
-// The registry (New, Names) maps the paper's benchmark identifiers
+// The registry (NewQueue, Names) maps the paper's benchmark identifiers
 // ("klsm128", "linden", "spray", "multiq", "globallock", ...) to factories,
-// parameterized by the intended thread count where the structure needs it.
+// parameterized by an Options struct (intended thread count, per-structure
+// tuning). Unknown identifiers are reported as *UnknownQueueError. The
+// two-argument New(name, threads) form is deprecated in favor of NewQueue.
 package cpq
 
 import (
@@ -139,19 +141,58 @@ func NewMultiQueuePairing(c, p int) *multiq.Queue {
 	return multiq.NewWith(c, p, func() multiq.SubHeap { return &seqheap.PairingHeap{} })
 }
 
-// New constructs a queue by its benchmark identifier, e.g. "klsm128",
-// "linden", "spray", "multiq", "globallock", "lotan", "dlsm", "slsm256",
-// "hunt", "mound". threads is the intended number of concurrent handles;
-// structures that do not depend on it ignore it.
-func New(name string, threads int) (Queue, error) {
-	if threads < 1 {
-		threads = 1
+// Options configures queue construction through the registry (NewQueue).
+// The zero value is valid: a single-threaded queue with every structure's
+// default tuning.
+type Options struct {
+	// Threads is the intended number of concurrent handles. Structures
+	// whose layout depends on the thread count (the SprayList's walk
+	// geometry, the MultiQueue's c·P sub-queue array) are sized for it;
+	// the rest ignore it. Values < 1 are treated as 1.
+	Threads int
+	// LindenBoundOffset overrides the Lindén-Jonsson physical-deletion
+	// batching threshold for "linden" (0 selects the default). Other
+	// queues ignore it.
+	LindenBoundOffset int
+	// SprayParams overrides the spray-walk tuning parameters for "spray"
+	// (nil selects the paper's defaults). Other queues ignore it.
+	SprayParams *spray.Params
+}
+
+func (o Options) threads() int {
+	if o.Threads < 1 {
+		return 1
 	}
+	return o.Threads
+}
+
+// UnknownQueueError is returned by NewQueue (and New) when the identifier
+// does not name any registered queue. Known carries the registry's
+// identifiers so callers can print an accurate usage hint.
+type UnknownQueueError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownQueueError) Error() string {
+	return fmt.Sprintf("cpq: unknown queue %q (known: %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
+// NewQueue constructs a queue by its benchmark identifier, e.g. "klsm128",
+// "linden", "spray", "multiq", "globallock", "lotan", "dlsm", "slsm256",
+// "hunt", "mound", "multiq-s4-b8". An unrecognized identifier yields an
+// *UnknownQueueError (match with errors.As); a recognized identifier with a
+// malformed parameter yields a plain error describing the parameter.
+func NewQueue(name string, opts Options) (Queue, error) {
+	threads := opts.threads()
 	n := strings.ToLower(strings.TrimSpace(name))
 	switch {
 	case n == "linden":
-		return NewLinden(), nil
+		return NewLindenBound(opts.LindenBoundOffset), nil
 	case n == "spray", n == "spraylist":
+		if opts.SprayParams != nil {
+			return NewSprayListParams(threads, *opts.SprayParams), nil
+		}
 		return NewSprayList(threads), nil
 	case n == "multiq", n == "multiqueue":
 		return NewMultiQueue(multiq.DefaultC, threads), nil
@@ -194,15 +235,38 @@ func New(name string, threads int) (Queue, error) {
 		}
 		return NewMultiQueue(c, threads), nil
 	}
-	return nil, fmt.Errorf("cpq: unknown queue %q (known: %s)", name, strings.Join(Names(), ", "))
+	return nil, &UnknownQueueError{Name: name, Known: Names()}
 }
+
+// New constructs a queue by its benchmark identifier for the given intended
+// thread count.
+//
+// Deprecated: use NewQueue, which takes an Options struct and leaves room
+// for per-structure tuning. New(name, threads) is exactly
+// NewQueue(name, Options{Threads: threads}).
+func New(name string, threads int) (Queue, error) {
+	return NewQueue(name, Options{Threads: threads})
+}
+
+// Flush publishes any operations buffered in h so that every item the
+// handle holds privately becomes reachable through other handles; handles
+// that do not buffer (and nil) are no-ops. Call it on each worker handle
+// when its goroutine stops operating on the queue.
+func Flush(h Handle) { pq.Flush(h) }
+
+// PeekMin reports (but does not remove) a current minimum candidate of v,
+// which may be a Queue or a Handle — whichever side supports peeking for
+// the structure at hand. ok is false for non-peekable (or nil) v, and the
+// result is approximate under concurrency.
+func PeekMin(v any) (key, value uint64, ok bool) { return pq.PeekMin(v) }
 
 // parseMultiQSpec parses the dash-separated parameter list of an engineered
 // MultiQueue identifier, e.g. "s4-b8" or "c8-s4-b8" (from "multiq-s4-b8",
 // "multiq-c8-s4-b8"). Omitted parameters default to c = the paper's 4,
-// s = 1, b = 1 (extension off).
+// s = 1, b = 1 (extension off); each parameter may appear at most once.
 func parseMultiQSpec(spec string) (c, s, b int, err error) {
 	c, s, b = multiq.DefaultC, 1, 1
+	seen := [256]bool{}
 	for _, seg := range strings.Split(spec, "-") {
 		if len(seg) < 2 {
 			return 0, 0, 0, fmt.Errorf("bad MultiQueue parameter %q", seg)
@@ -211,6 +275,10 @@ func parseMultiQSpec(spec string) (c, s, b int, err error) {
 		if convErr != nil || v < 1 {
 			return 0, 0, 0, fmt.Errorf("bad MultiQueue parameter %q", seg)
 		}
+		if seen[seg[0]] {
+			return 0, 0, 0, fmt.Errorf("duplicate MultiQueue parameter %q", seg)
+		}
+		seen[seg[0]] = true
 		switch seg[0] {
 		case 'c':
 			c = v

@@ -21,7 +21,7 @@ func ExampleNewKLSM() {
 
 // Queues can be constructed from their benchmark identifiers.
 func ExampleNew() {
-	q, err := cpq.New("multiq", 4)
+	q, err := cpq.NewQueue("multiq", cpq.Options{Threads: 4})
 	if err != nil {
 		panic(err)
 	}

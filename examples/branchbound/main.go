@@ -153,7 +153,7 @@ func main() {
 	fmt.Printf("%-12s %10s %12s %14s\n", "queue", "optimum", "explored", "wall time")
 	var reference uint64
 	for i, name := range []string{"globallock", "linden", "multiq", "spray", "klsm256"} {
-		q, err := cpq.New(name, workers)
+		q, err := cpq.NewQueue(name, cpq.Options{Threads: workers})
 		if err != nil {
 			panic(err)
 		}

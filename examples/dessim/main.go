@@ -81,7 +81,7 @@ func main() {
 		jobs, totalOps, workers)
 	fmt.Printf("%-12s %12s %14s %s\n", "queue", "wall time", "events/sec", "timestamp inversions")
 	for _, name := range []string{"globallock", "linden", "hunt", "multiq", "spray", "klsm256", "klsm4096"} {
-		q, err := cpq.New(name, workers)
+		q, err := cpq.NewQueue(name, cpq.Options{Threads: workers})
 		if err != nil {
 			panic(err)
 		}

@@ -100,7 +100,7 @@ func main() {
 	fmt.Printf("pq-sort of %d random 32-bit keys, %d workers\n\n", n, workers)
 	fmt.Printf("%-12s %12s %10s %12s %16s\n", "queue", "wall time", "complete", "inversions", "max regression")
 	for _, name := range []string{"globallock", "hunt", "cbpq", "linden", "multiq", "spray", "klsm256", "klsm4096"} {
-		q, err := cpq.New(name, workers)
+		q, err := cpq.NewQueue(name, cpq.Options{Threads: workers})
 		if err != nil {
 			panic(err)
 		}

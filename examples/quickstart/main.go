@@ -30,7 +30,7 @@ func main() {
 	// --- Every implementation through the registry --------------------
 	fmt.Println("\nAll implementations, same workload:")
 	for _, name := range cpq.Names() {
-		q, err := cpq.New(name, 4) // 4 = intended concurrent handles
+		q, err := cpq.NewQueue(name, cpq.Options{Threads: 4}) // intended concurrent handles
 		if err != nil {
 			panic(err)
 		}

@@ -149,7 +149,7 @@ func main() {
 		nodes, nodes*(degree+1), seqTime)
 
 	for _, name := range []string{"globallock", "linden", "multiq", "spray", "klsm256", "klsm4096"} {
-		q, err := cpq.New(name, workers)
+		q, err := cpq.NewQueue(name, cpq.Options{Threads: workers})
 		if err != nil {
 			panic(err)
 		}

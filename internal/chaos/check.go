@@ -1,0 +1,384 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cpq/internal/keys"
+	"cpq/internal/pq"
+	"cpq/internal/quality"
+	"cpq/internal/rng"
+	"cpq/internal/workload"
+)
+
+// CheckConfig describes one chaos stress run: a queue driven by concurrent
+// workers under fault injection while every operation is logged, followed
+// by a forensic pass that checks suite-wide invariants (see Check).
+type CheckConfig struct {
+	// NewQueue constructs the queue under test for a given thread count.
+	// (A factory rather than a registry name: internal/core and friends
+	// import this package for their failpoints, so the checker cannot
+	// import the registry without a cycle. The CLI and tests pass
+	// cpq.NewQueue closures.)
+	NewQueue func(threads int) pq.Queue
+	// Name is the queue's registry identifier; it selects the claimed
+	// relaxation bound (quality.ClaimedBound) and labels the report.
+	Name string
+	// Threads is the number of concurrent workers (default 4).
+	Threads int
+	// OpsPerThread is each worker's operation budget (default 5000).
+	OpsPerThread int
+	// Prefill items are inserted (and logged) before the workers start
+	// (default 2·OpsPerThread, so deletes mostly find items).
+	Prefill int
+	// Abandon is how many workers stop mid-phase — at half their budget,
+	// without flushing — leaving items in their insertion/deletion/run
+	// buffers (default 1 when Threads > 1). The post-phase Flush must make
+	// those items reachable again; losing them is an invariant violation.
+	Abandon int
+	// Seed drives the fault injection, the key streams and the workload
+	// mix. A failing seed reproduces the same injected decision sequence
+	// (see the package documentation on determinism). Zero selects the
+	// package default.
+	Seed uint64
+	// Injection tunes the failpoint behaviour; the zero value selects the
+	// defaults documented on Config. Its Seed field is overridden by Seed.
+	Injection Config
+	// Slack widens every bound check by this many ranks to absorb
+	// log-stamping pessimism: an operation delayed by injection between
+	// taking effect and being stamped is ordered adversely against
+	// everything that slipped into the window. Negative selects the
+	// default 1024 + 64·Threads.
+	Slack int
+	// Tolerance is the accepted fraction of deletions beyond bound+slack
+	// (default 0.002). The exact invariants — lost items, double deletes,
+	// drain emptiness — use no tolerance.
+	Tolerance float64
+}
+
+func (c CheckConfig) withDefaults() CheckConfig {
+	if c.Threads < 1 {
+		c.Threads = 4
+	}
+	if c.OpsPerThread <= 0 {
+		c.OpsPerThread = 5000
+	}
+	if c.Prefill < 0 {
+		c.Prefill = 0
+	} else if c.Prefill == 0 {
+		c.Prefill = 2 * c.OpsPerThread
+	}
+	if c.Abandon == 0 && c.Threads > 1 {
+		c.Abandon = 1
+	}
+	if c.Abandon > c.Threads {
+		c.Abandon = c.Threads
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x9e3779b97f4a7c15
+	}
+	if c.Slack < 0 {
+		c.Slack = 1024 + 64*c.Threads
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.002
+	}
+	return c
+}
+
+// CheckResult is the outcome of one chaos stress run.
+type CheckResult struct {
+	Name string
+	Seed uint64
+	// Inserts and Deletions count logged operations (workers + prefill +
+	// drain); EmptyDeletes counts delete_mins that reported empty during
+	// the concurrent phase.
+	Inserts, Deletions, EmptyDeletes uint64
+	// Drained is how many items the post-phase drain recovered.
+	Drained uint64
+	// Bound, Kind and Slack echo the verified relaxation claim;
+	// Quality is the replayed rank-error distribution.
+	Bound   int
+	Kind    quality.BoundKind
+	Slack   int
+	Quality quality.Result
+	// Injected reports the failpoint activity of the run (coverage).
+	Injected Stats
+	// Violations lists every invariant violation found; empty means PASS.
+	Violations []string
+}
+
+// Failed reports whether any invariant was violated.
+func (r CheckResult) Failed() bool { return len(r.Violations) > 0 }
+
+// Check runs one chaos stress cycle and verifies the suite-wide
+// invariants. The cycle has four phases:
+//
+//  1. Enable injection (seeded), construct the queue, prefill through a
+//     logged handle.
+//  2. Concurrent phase: Threads workers run a uniform insert/delete mix,
+//     logging every operation quality-style (global atomic stamps, unique
+//     item identities in the value word). The first Abandon workers stop
+//     at half budget without flushing — mid-operation handle abandonment —
+//     while the rest flush when done, as the harnesses do.
+//  3. Recovery: Flush every abandoned handle (the pq.Flusher contract),
+//     then drain the queue to empty single-threaded through a fresh
+//     handle, still under injection. If the drain reports empty while
+//     logged items remain unaccounted, flush-and-retry; items that only
+//     appear after a retry convict the emptiness oracle.
+//  4. Forensics on the merged log: every inserted item deleted at most
+//     once (nothing deleted twice, nothing conjured), every item deleted
+//     exactly once overall (nothing lost, buffered items made reachable
+//     again by Flush), and the replayed rank distribution within the
+//     claimed relaxation bound plus stamping slack (kP for the k-LSM, k
+//     for the SLSM, strictness for the exact queues).
+//
+// Check owns the package-global injection state: it calls Enable before
+// constructing the queue and Disable before returning, so callers must not
+// run two Checks (or any other instrumented work) concurrently.
+func Check(cfg CheckConfig) CheckResult {
+	cfg = cfg.withDefaults()
+	res := CheckResult{Name: cfg.Name, Seed: cfg.Seed}
+	res.Bound, res.Kind = quality.ClaimedBound(cfg.Name, cfg.Threads+2)
+	res.Slack = cfg.Slack
+
+	inj := cfg.Injection
+	inj.Seed = cfg.Seed
+	Enable(inj)
+	defer Disable()
+
+	q := cfg.NewQueue(cfg.Threads)
+	var seq, nextID atomic.Uint64
+
+	// Phase 1: logged prefill. The prefill handle counts toward the
+	// effective P of the kP window (hence Threads+2 above: prefill handle,
+	// workers, drain handle — the drain handle replaces a worker slot but
+	// the bound only loosens, never tightens, by over-counting).
+	events := make([]quality.Event, 0, cfg.Prefill+cfg.Threads*cfg.OpsPerThread)
+	{
+		h := q.Handle()
+		r := rng.New(cfg.Seed ^ 0xd1b54a32d192ed03)
+		gen := keys.NewGenerator(keys.Uniform32, r)
+		for i := 0; i < cfg.Prefill; i++ {
+			k := gen.Next()
+			id := nextID.Add(1)
+			events = append(events, quality.Event{Seq: seq.Add(1), ID: id, Key: k})
+			h.Insert(k, id)
+		}
+		pq.Flush(h)
+	}
+
+	// Phase 2: concurrent measured phase.
+	var (
+		logs      = make([][]quality.Event, cfg.Threads)
+		handles   = make([]pq.Handle, cfg.Threads)
+		emptyDels atomic.Uint64
+		start     = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			handles[w] = h
+			r := rng.New(cfg.Seed + uint64(w)*0x6a09e667f3bcc909)
+			gen := keys.NewGenerator(keys.Uniform32, r)
+			policy := workload.ForWorkerBatched(workload.Uniform, w, cfg.Threads, 0, 0, r)
+			abandoned := w < cfg.Abandon
+			budget := cfg.OpsPerThread
+			if abandoned {
+				budget /= 2 // stop mid-phase, buffers still loaded
+			}
+			local := make([]quality.Event, 0, budget)
+			<-start
+			for i := 0; i < budget; i++ {
+				if policy.Next() == workload.Insert {
+					k := gen.Next()
+					id := nextID.Add(1)
+					// Stamp BEFORE the insert takes effect.
+					local = append(local, quality.Event{Seq: seq.Add(1), ID: id, Key: k})
+					h.Insert(k, id)
+				} else {
+					k, id, ok := h.DeleteMin()
+					if ok {
+						gen.Observe(k)
+						// Stamp AFTER the delete returned.
+						local = append(local, quality.Event{Seq: seq.Add(1), ID: id, Key: k, Del: true})
+					} else {
+						emptyDels.Add(1)
+					}
+				}
+			}
+			if !abandoned {
+				pq.Flush(h)
+			}
+			logs[w] = local
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	res.EmptyDeletes = emptyDels.Load()
+
+	// Phase 3: recovery and drain. First the Flusher contract on the
+	// abandoned handles: everything they still buffer must become
+	// reachable. (Safe from this goroutine: the workers have joined.)
+	for w := 0; w < cfg.Abandon; w++ {
+		pq.Flush(handles[w])
+	}
+	drainH := q.Handle()
+	totalInserted := nextID.Load()
+	var logged uint64 // deletions logged so far, recomputed below
+	for _, l := range logs {
+		for _, e := range l {
+			if e.Del {
+				logged++
+			}
+		}
+	}
+	for retries := 0; ; {
+		k, id, ok := drainH.DeleteMin()
+		if ok {
+			events = append(events, quality.Event{Seq: seq.Add(1), ID: id, Key: k, Del: true})
+			res.Drained++
+			continue
+		}
+		if logged+res.Drained >= totalInserted || retries >= 2 {
+			break
+		}
+		// The queue claims empty but items are unaccounted for. Flush
+		// everything once more and retry: items recovered only now convict
+		// the emptiness oracle (phase 4 reports them); items never
+		// recovered are lost.
+		retries++
+		for _, h := range handles {
+			pq.Flush(h)
+		}
+		pq.Flush(drainH)
+		if k, id, ok := drainH.DeleteMin(); ok {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"emptiness oracle: DeleteMin reported empty while items were still reachable (retry %d recovered id %d key %d)",
+				retries, id, k))
+			events = append(events, quality.Event{Seq: seq.Add(1), ID: id, Key: k, Del: true})
+			res.Drained++
+		}
+	}
+	if k, v, ok := pq.PeekMin(drainH); ok {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"emptiness oracle: PeekMin reports key %d (value %d) after DeleteMin reported empty", k, v))
+	} else if k, v, ok := pq.PeekMin(q); ok {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"emptiness oracle: queue PeekMin reports key %d (value %d) after DeleteMin reported empty", k, v))
+	}
+
+	// Phase 4: forensics on the merged log.
+	for _, l := range logs {
+		events = append(events, l...)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	res.accountItems(events, totalInserted)
+
+	res.Quality = quality.Replay(events)
+	if res.Kind != quality.BoundNone {
+		limit := res.Bound + cfg.Slack
+		if v := quality.ViolationsAbove(res.Quality, limit); v > 0 {
+			frac := float64(v) / float64(res.Quality.Deletions)
+			if frac > cfg.Tolerance {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"relaxation bound: %d of %d deletions (%.3f%%) exceeded rank %d (claimed %s bound %d + slack %d; max observed %d)",
+					v, res.Quality.Deletions, 100*frac, limit, res.Kind, res.Bound, cfg.Slack, res.Quality.MaxRank))
+			}
+		}
+	}
+
+	res.Injected = Snapshot()
+	return res
+}
+
+// accountItems checks the exact item-conservation invariants on the merged
+// log: every delete corresponds to a logged insert with a matching key, no
+// item is deleted twice, and no item is lost (undeleted after flush+drain).
+func (r *CheckResult) accountItems(events []quality.Event, totalInserted uint64) {
+	keyByID := make([]uint64, totalInserted+1)
+	seen := make([]bool, totalInserted+1)
+	delCount := make([]uint8, totalInserted+1)
+	var dup, phantom, mismatch uint64
+	var firstDetail string
+	for _, e := range events {
+		if !e.Del {
+			r.Inserts++
+			keyByID[e.ID] = e.Key
+			seen[e.ID] = true
+			continue
+		}
+		r.Deletions++
+		switch {
+		case e.ID == 0 || e.ID > totalInserted || !seen[e.ID]:
+			phantom++
+			if firstDetail == "" {
+				firstDetail = fmt.Sprintf("first: id %d key %d never inserted", e.ID, e.Key)
+			}
+		case keyByID[e.ID] != e.Key:
+			mismatch++
+			if firstDetail == "" {
+				firstDetail = fmt.Sprintf("first: id %d returned key %d, inserted as %d", e.ID, e.Key, keyByID[e.ID])
+			}
+		case delCount[e.ID] > 0:
+			dup++
+			if firstDetail == "" {
+				firstDetail = fmt.Sprintf("first: id %d key %d", e.ID, e.Key)
+			}
+		}
+		if delCount[e.ID] < 255 {
+			delCount[e.ID]++
+		}
+	}
+	var lost uint64
+	var firstLost string
+	for id := uint64(1); id <= totalInserted; id++ {
+		if seen[id] && delCount[id] == 0 {
+			lost++
+			if firstLost == "" {
+				firstLost = fmt.Sprintf("first: id %d key %d", id, keyByID[id])
+			}
+		}
+	}
+	if phantom > 0 {
+		r.Violations = append(r.Violations, fmt.Sprintf(
+			"conservation: %d deletions returned items that were never inserted (%s)", phantom, firstDetail))
+	}
+	if mismatch > 0 {
+		r.Violations = append(r.Violations, fmt.Sprintf(
+			"conservation: %d deletions returned a corrupted key (%s)", mismatch, firstDetail))
+	}
+	if dup > 0 {
+		r.Violations = append(r.Violations, fmt.Sprintf(
+			"conservation: %d items deleted twice (%s)", dup, firstDetail))
+	}
+	if lost > 0 {
+		r.Violations = append(r.Violations, fmt.Sprintf(
+			"conservation: %d of %d items lost — inserted, never deleted, unreachable after flush+drain (%s)",
+			lost, totalInserted, firstLost))
+	}
+}
+
+// String renders a one-line verdict row plus indented violation lines.
+func (r CheckResult) String() string {
+	verdict := "PASS"
+	if r.Failed() {
+		verdict = "FAIL"
+	}
+	boundStr := "(none)"
+	if r.Kind != quality.BoundNone {
+		boundStr = fmt.Sprintf("%d+%d", r.Bound, r.Slack)
+	}
+	s := fmt.Sprintf("%-14s ins=%-8d del=%-8d drained=%-7d maxrank=%-8d bound=%-12s inj=%-6d %s",
+		r.Name, r.Inserts, r.Deletions, r.Drained, r.Quality.MaxRank, boundStr,
+		r.Injected.TotalHits(), verdict)
+	for _, v := range r.Violations {
+		s += "\n    " + v
+	}
+	return s
+}

@@ -1,0 +1,227 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+
+	"cpq/internal/chaos"
+	"cpq/internal/core"
+	"cpq/internal/multiq"
+	"cpq/internal/pq"
+	"cpq/internal/seqheap"
+)
+
+func small(name string, f func(int) pq.Queue) chaos.CheckConfig {
+	return chaos.CheckConfig{
+		Name:         name,
+		NewQueue:     f,
+		Threads:      4,
+		OpsPerThread: 2000,
+		Seed:         99,
+	}
+}
+
+func TestCheckPassesStrictQueue(t *testing.T) {
+	res := chaos.Check(small("globallock", func(int) pq.Queue { return seqheap.NewGlobalLock() }))
+	if res.Failed() {
+		t.Fatalf("strict queue failed chaos check (seed %d):\n%s", res.Seed, res)
+	}
+	if res.Drained == 0 || res.Deletions == 0 {
+		t.Fatalf("degenerate run: %s", res)
+	}
+}
+
+func TestCheckPassesKLSMWithCoverage(t *testing.T) {
+	res := chaos.Check(small("klsm128", func(int) pq.Queue { return core.NewKLSM(128) }))
+	if res.Failed() {
+		t.Fatalf("klsm failed chaos check (seed %d):\n%s", res.Seed, res)
+	}
+	// The k-LSM exercises the SLSM publish/republish and run-buffer
+	// failpoints; an all-zero coverage report means the threading broke.
+	if res.Injected.TotalHits() == 0 {
+		t.Fatal("no failpoint recorded any hits during a klsm run")
+	}
+	if res.Injected.Hits[chaos.SLSMPublish] == 0 {
+		t.Fatalf("slsm-publish failpoint never hit: %+v", res.Injected.Hits)
+	}
+}
+
+func TestCheckPassesEngineeredMultiQueue(t *testing.T) {
+	res := chaos.Check(small("multiq-s4-b8", func(threads int) pq.Queue {
+		return multiq.NewEngineered(2, threads+2, 4, 8)
+	}))
+	if res.Failed() {
+		t.Fatalf("engineered multiqueue failed chaos check (seed %d):\n%s", res.Seed, res)
+	}
+	if res.Injected.Hits[chaos.MQLock] == 0 {
+		t.Fatalf("mq-lock failpoint never hit: %+v", res.Injected.Hits)
+	}
+}
+
+// lossyHandle drops every 97th insert on the floor — the checker must
+// report the items as lost.
+type lossyHandle struct {
+	pq.Handle
+	n int
+}
+
+func (h *lossyHandle) Insert(key, value uint64) {
+	h.n++
+	if h.n%97 == 0 {
+		return
+	}
+	h.Handle.Insert(key, value)
+}
+
+type wrapQueue struct {
+	pq.Queue
+	wrap func(pq.Handle) pq.Handle
+}
+
+func (q *wrapQueue) Handle() pq.Handle { return q.wrap(q.Queue.Handle()) }
+
+func TestCheckDetectsLostItems(t *testing.T) {
+	cfg := small("globallock", func(int) pq.Queue {
+		return &wrapQueue{
+			Queue: seqheap.NewGlobalLock(),
+			wrap:  func(h pq.Handle) pq.Handle { return &lossyHandle{Handle: h} },
+		}
+	})
+	res := chaos.Check(cfg)
+	if !res.Failed() {
+		t.Fatal("lossy queue passed the chaos check")
+	}
+	if !hasViolation(res, "lost") {
+		t.Fatalf("lost items not reported:\n%s", res)
+	}
+}
+
+// dupHandle replays a previously returned item every 97th delete — a
+// double delete the conservation pass must flag.
+type dupHandle struct {
+	pq.Handle
+	n         int
+	lastK     uint64
+	lastV     uint64
+	haveStash bool
+}
+
+func (h *dupHandle) DeleteMin() (uint64, uint64, bool) {
+	h.n++
+	if h.haveStash && h.n%97 == 0 {
+		return h.lastK, h.lastV, true
+	}
+	k, v, ok := h.Handle.DeleteMin()
+	if ok {
+		h.lastK, h.lastV, h.haveStash = k, v, true
+	}
+	return k, v, ok
+}
+
+func TestCheckDetectsDoubleDelete(t *testing.T) {
+	cfg := small("globallock", func(int) pq.Queue {
+		return &wrapQueue{
+			Queue: seqheap.NewGlobalLock(),
+			wrap:  func(h pq.Handle) pq.Handle { return &dupHandle{Handle: h} },
+		}
+	})
+	res := chaos.Check(cfg)
+	if !res.Failed() {
+		t.Fatal("duplicating queue passed the chaos check")
+	}
+	if !hasViolation(res, "deleted twice") {
+		t.Fatalf("double delete not reported:\n%s", res)
+	}
+}
+
+// flushLossHandle buffers inserts locally and throws the buffer away on
+// Flush — breaking the Flusher recovery contract the checker verifies for
+// abandoned handles.
+type flushLossHandle struct {
+	pq.Handle
+	buf []pq.Item
+}
+
+func (h *flushLossHandle) Insert(key, value uint64) {
+	if len(h.buf) < 8 {
+		h.buf = append(h.buf, pq.Item{Key: key, Value: value})
+		return
+	}
+	h.Handle.Insert(key, value)
+}
+
+func (h *flushLossHandle) Flush() { h.buf = h.buf[:0] }
+
+func TestCheckDetectsFlushLoss(t *testing.T) {
+	cfg := small("globallock", func(int) pq.Queue {
+		return &wrapQueue{
+			Queue: seqheap.NewGlobalLock(),
+			wrap:  func(h pq.Handle) pq.Handle { return &flushLossHandle{Handle: h} },
+		}
+	})
+	res := chaos.Check(cfg)
+	if !res.Failed() {
+		t.Fatal("flush-discarding queue passed the chaos check")
+	}
+	if !hasViolation(res, "lost") {
+		t.Fatalf("flush loss not reported as lost items:\n%s", res)
+	}
+}
+
+// liarHandle reports empty spuriously every 53rd delete — the emptiness
+// oracle violation the drain retry loop is built to convict.
+type liarHandle struct {
+	pq.Handle
+	n int
+}
+
+func (h *liarHandle) DeleteMin() (uint64, uint64, bool) {
+	h.n++
+	if h.n%53 == 0 {
+		return 0, 0, false
+	}
+	return h.Handle.DeleteMin()
+}
+
+func TestCheckDetectsEmptinessLie(t *testing.T) {
+	cfg := small("globallock", func(int) pq.Queue {
+		return &wrapQueue{
+			Queue: seqheap.NewGlobalLock(),
+			wrap:  func(h pq.Handle) pq.Handle { return &liarHandle{Handle: h} },
+		}
+	})
+	res := chaos.Check(cfg)
+	if !res.Failed() {
+		t.Fatal("empty-lying queue passed the chaos check")
+	}
+	if !hasViolation(res, "emptiness") {
+		t.Fatalf("emptiness lie not reported:\n%s", res)
+	}
+}
+
+func TestCheckSingleThreadDeterministic(t *testing.T) {
+	cfg := chaos.CheckConfig{
+		Name:         "globallock",
+		NewQueue:     func(int) pq.Queue { return seqheap.NewGlobalLock() },
+		Threads:      1,
+		OpsPerThread: 3000,
+		Seed:         1234,
+	}
+	a, b := chaos.Check(cfg), chaos.Check(cfg)
+	if a.Failed() || b.Failed() {
+		t.Fatalf("strict single-thread run failed:\n%s\n%s", a, b)
+	}
+	if a.Inserts != b.Inserts || a.Deletions != b.Deletions || a.Drained != b.Drained ||
+		a.Injected != b.Injected {
+		t.Fatalf("same seed, different runs:\n%s\n%s", a, b)
+	}
+}
+
+func hasViolation(res chaos.CheckResult, substr string) bool {
+	for _, v := range res.Violations {
+		if strings.Contains(v, substr) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"cpq"
+)
+
+// ValidateQueues checks that every name constructs through the registry,
+// exiting via ExitQueueErr otherwise. Tools call it up front so a typo is
+// reported before any benchmark time is burned.
+func ValidateQueues(tool string, names []string) {
+	for _, n := range names {
+		if _, err := cpq.NewQueue(n, cpq.Options{}); err != nil {
+			ExitQueueErr(tool, err)
+		}
+	}
+}
+
+// ExitQueueErr prints a queue-construction error and exits with status 2.
+// An unknown identifier (*cpq.UnknownQueueError) gets the registry's known
+// identifiers printed as a separate usage-hint line.
+func ExitQueueErr(tool string, err error) {
+	var unknown *cpq.UnknownQueueError
+	if errors.As(err, &unknown) {
+		fmt.Fprintf(os.Stderr, "%s: unknown queue %q\n", tool, unknown.Name)
+		fmt.Fprintf(os.Stderr, "%s: known queues: %s\n", tool, strings.Join(unknown.Known, ", "))
+	} else {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	}
+	os.Exit(2)
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cpq/internal/chaos"
 	"cpq/internal/pq"
 	"cpq/internal/rng"
 	"cpq/internal/telemetry"
@@ -124,6 +125,9 @@ func (h *Handle) popRunLocked() *item {
 func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 	for {
 		l := h.local
+		// Failpoint: stall before taking the local lock so a spy can steal
+		// the run buffer (or the local minimum) out from under the owner.
+		chaos.Perturb(chaos.KLSMRunBuffer)
 		l.mu.Lock()
 		bi, ii, lkey, lok := l.peekMinLocked()
 		if h.srunPos < h.srunEnd {
@@ -198,6 +202,9 @@ func (h *Handle) spy() bool {
 		if v == h {
 			continue
 		}
+		// Failpoint: stall between victim selection and the victim lock so
+		// the victim (or another spy) races us to its items.
+		chaos.Perturb(chaos.KLSMSpy)
 		v.local.mu.Lock()
 		runs := v.local.snapshotLocked()
 		var stolen []*item
@@ -253,6 +260,9 @@ func (h *Handle) Flush() {
 	h.srunPos, h.srunEnd = 0, 0
 	l.mu.Unlock()
 	h.tel.Inc(telemetry.RunBufferFlush)
+	// Failpoint: stall between emptying the buffer and republishing it —
+	// the window in which a Flush bug would strand the buffered items.
+	chaos.Perturb(chaos.KLSMRunBuffer)
 	h.q.slsm.insertBatch(fresh, h.tel) // fresh is sorted: srun was
 }
 

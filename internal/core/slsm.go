@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cpq/internal/chaos"
 	"cpq/internal/rng"
 	"cpq/internal/telemetry"
 )
@@ -218,7 +219,11 @@ func (s *slsm) insertBatch(items []*item, tel *telemetry.Shard) {
 		if len(ns.pivots) == 0 {
 			ns = freshPivotState(blocks, s.k)
 		}
-		if s.state.CompareAndSwap(cur, ns) {
+		// Failpoint: widen the load→CAS window, and force the occasional
+		// publish to act as lost — the retry redoes the merge against the
+		// then-current state, exactly like a genuine conflict.
+		chaos.Perturb(chaos.SLSMPublish)
+		if !chaos.ShouldFail(chaos.SLSMPublish) && s.state.CompareAndSwap(cur, ns) {
 			return
 		}
 		// Lost the publish race: back off, then redo the merge against the
@@ -297,6 +302,9 @@ func (s *slsm) takeRun(r *rng.Xoroshiro, bound uint64, dst []*item, max int, tel
 	unbounded := bound == ^uint64(0)
 	for attempt := 0; ; attempt++ {
 		st := s.state.Load()
+		// Failpoint: stall between the state load and the take scan so
+		// concurrent takers drain the pivot range out from under us.
+		chaos.Perturb(chaos.SLSMPivotTake)
 		if n := len(st.pivots); n > 0 {
 			// Pivots are sorted ascending, so the candidates below bound
 			// form a prefix; the scan never leaves it.
@@ -353,7 +361,9 @@ func (s *slsm) takeRun(r *rng.Xoroshiro, bound uint64, dst []*item, max int, tel
 			continue
 		}
 		ns := &sstate{blocks: st.blocks, pivots: pivots, pivotMax: pivots[len(pivots)-1].key}
-		if s.state.CompareAndSwap(st, ns) {
+		// Failpoint: a forced republish loss behaves exactly like losing the
+		// CAS to a concurrent publisher.
+		if !chaos.ShouldFail(chaos.SLSMRepublish) && s.state.CompareAndSwap(st, ns) {
 			tel.Inc(telemetry.SLSMRepublish)
 		} else {
 			// Another thread published (insert or republish); back off and
@@ -420,7 +430,7 @@ func (s *slsm) peekCandidate(r *rng.Xoroshiro, tel *telemetry.Shard) (*item, boo
 			continue
 		}
 		ns := &sstate{blocks: st.blocks, pivots: pivots, pivotMax: pivots[len(pivots)-1].key}
-		if s.state.CompareAndSwap(st, ns) {
+		if !chaos.ShouldFail(chaos.SLSMRepublish) && s.state.CompareAndSwap(st, ns) {
 			tel.Inc(telemetry.SLSMRepublish)
 		} else {
 			tel.Inc(telemetry.SLSMRepublishFail)

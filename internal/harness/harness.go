@@ -103,15 +103,6 @@ func (r Result) MOps() float64 {
 	return float64(r.Ops) / 1e6 / r.Duration.Seconds()
 }
 
-// flush publishes a worker handle's buffered operations (engineered
-// MultiQueue) when its measured phase ends, so post-run accounting and the
-// quality replay see every item.
-func flush(h pq.Handle) {
-	if f, ok := h.(pq.Flusher); ok {
-		f.Flush()
-	}
-}
-
 // paddedCounter avoids false sharing between per-worker counters.
 type paddedCounter struct {
 	ops   uint64
@@ -177,7 +168,7 @@ func Run(cfg Config) Result {
 				}
 				ops++
 			}
-			flush(h)
+			pq.Flush(h)
 			counters[w].ops = ops
 			counters[w].empty = empty
 		}(w)
@@ -279,7 +270,7 @@ func RunOps(cfg Config, opsPerThread int) Result {
 					}
 				}
 			}
-			flush(h)
+			pq.Flush(h)
 			counters[w].ops = uint64(opsPerThread)
 			counters[w].empty = empty
 			samples[w] = local
@@ -340,7 +331,7 @@ func PrefillQueue(q pq.Queue, cfg Config) {
 			for i := 0; i < n; i++ {
 				h.Insert(gen.Next(), uint64(w))
 			}
-			flush(h)
+			pq.Flush(h)
 		}(w, n)
 	}
 	wg.Wait()

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cpq/internal/chaos"
 	"cpq/internal/pq"
 	"cpq/internal/rng"
 	"cpq/internal/telemetry"
@@ -145,6 +146,9 @@ func (h *EHandle) flushInsLocked() {
 		return
 	}
 	h.tel.Inc(telemetry.MQInsFlush)
+	// Failpoint: stall the flush while h.mu is held, so sweeps, Len and
+	// steals from other handles pile up against the buffered items.
+	chaos.Perturb(chaos.MQFlush)
 	s := h.lockForInsert()
 	for _, it := range h.ins {
 		s.heap.Push(it)
@@ -163,7 +167,9 @@ func (h *EHandle) lockForInsert() *subqueue {
 	n := uint64(len(q.qs))
 	if h.insLeft > 0 {
 		s := &q.qs[h.insQ]
-		if s.mu.TryLock() {
+		// Failpoint: a forced try-lock failure abandons the sticky target,
+		// exercising the stick-reset and resample path.
+		if !chaos.ShouldFail(chaos.MQLock) && s.mu.TryLock() {
 			h.insLeft--
 			return s
 		}
@@ -173,13 +179,14 @@ func (h *EHandle) lockForInsert() *subqueue {
 	for attempt := 0; attempt < insertTryLimit; attempt++ {
 		i := int(h.rng.Uintn(n))
 		s := &q.qs[i]
-		if s.mu.TryLock() {
+		if !chaos.ShouldFail(chaos.MQLock) && s.mu.TryLock() {
 			h.insQ, h.insLeft = i, q.stick-1
 			return s
 		}
 	}
 	i := int(h.rng.Uintn(n))
 	s := &q.qs[i]
+	chaos.Perturb(chaos.MQLock)
 	s.mu.Lock()
 	h.insQ, h.insLeft = i, q.stick-1
 	return s
@@ -236,8 +243,11 @@ func (h *EHandle) refillLocked() (pq.Item, bool) {
 		if min == emptyKey {
 			continue // both sampled queues look empty; resample
 		}
+		// Failpoint: stall between the cached-min sample and the batch pop
+		// (inviting a raced drain), and force the occasional try-lock loss.
+		chaos.Perturb(chaos.MQRefill)
 		s := &q.qs[pick]
-		if !s.mu.TryLock() {
+		if chaos.ShouldFail(chaos.MQLock) || !s.mu.TryLock() {
 			h.delLeft = 0
 			h.tel.Inc(telemetry.MQStickReset)
 			continue

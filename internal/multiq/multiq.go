@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cpq/internal/chaos"
 	"cpq/internal/pq"
 	"cpq/internal/rng"
 	"cpq/internal/seqheap"
@@ -159,7 +160,9 @@ func (h *Handle) Insert(key, value uint64) {
 	it := pq.Item{Key: key, Value: value}
 	for attempt := 0; attempt < insertTryLimit; attempt++ {
 		s := &q.qs[h.rng.Uintn(n)]
-		if s.mu.TryLock() {
+		// Failpoint: a forced try-lock failure redirects the insert to
+		// another sub-queue, like a genuinely contended lock.
+		if !chaos.ShouldFail(chaos.MQLock) && s.mu.TryLock() {
 			s.heap.Push(it)
 			s.updateMin()
 			s.mu.Unlock()
@@ -167,6 +170,7 @@ func (h *Handle) Insert(key, value uint64) {
 		}
 	}
 	s := &q.qs[h.rng.Uintn(n)]
+	chaos.Perturb(chaos.MQLock)
 	s.mu.Lock()
 	s.heap.Push(it)
 	s.updateMin()
@@ -204,7 +208,7 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 			continue // both sampled queues look empty; resample
 		}
 		s := &q.qs[pick]
-		if !s.mu.TryLock() {
+		if chaos.ShouldFail(chaos.MQLock) || !s.mu.TryLock() {
 			continue
 		}
 		it, popped := s.heap.Pop()

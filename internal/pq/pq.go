@@ -45,6 +45,28 @@ type Peeker interface {
 	PeekMin() (key, value uint64, ok bool)
 }
 
+// Flush publishes any operations buffered in h, so that every item the
+// handle holds privately becomes reachable through other handles. It is
+// the capability-checked form of Flusher: a handle that does not buffer
+// (or a nil Handle) is a no-op. Harnesses call it on every worker handle
+// when a measured phase ends.
+func Flush(h Handle) {
+	if f, ok := h.(Flusher); ok {
+		f.Flush()
+	}
+}
+
+// PeekMin reports (but does not remove) a current minimum candidate of v,
+// which may be a Queue or a Handle — whichever side implements Peeker for
+// the structure at hand. Nil-safe: a non-implementing or nil v reports
+// not-ok. Like Peeker itself, the result is approximate under concurrency.
+func PeekMin(v any) (key, value uint64, ok bool) {
+	if p, isPeeker := v.(Peeker); isPeeker {
+		return p.PeekMin()
+	}
+	return 0, 0, false
+}
+
 // Flusher is implemented by handles that buffer operations locally (the
 // engineered MultiQueue's insertion/deletion buffers, the k-LSM's
 // shared-run buffer of items batch-taken from the SLSM pivot range). Flush

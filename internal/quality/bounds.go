@@ -1,0 +1,79 @@
+package quality
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// BoundKind classifies a queue's advertised relaxation guarantee.
+type BoundKind string
+
+const (
+	// BoundStrict marks exact queues: every delete_min returns the true
+	// minimum (rank 0).
+	BoundStrict BoundKind = "strict"
+	// BoundRelaxed marks queues with a published worst-case rank bound.
+	BoundRelaxed BoundKind = "bounded"
+	// BoundNone marks queues with no published bound (reported, not judged).
+	BoundNone BoundKind = "none"
+)
+
+// ClaimedBound returns the advertised rank bound of the named registry
+// queue when accessed through p handles, and the bound's kind:
+//
+//	klsm<k>     rank <= k·P           (lock-free k-LSM guarantee)
+//	slsm<k>     rank <= k             (shared component alone)
+//	spray       rank = O(P·log³P)     (checked against C·P·log³P, C=32)
+//	linden, globallock, lotan, hunt, mound, cbpq, locksl — strict (rank 0)
+//	multiq, dlsm — no published bound
+//
+// p must count every handle that touches the queue, not just the measured
+// workers: the k-LSM's kP window grows with each handle's local component,
+// and the harnesses use extra handles for prefill and draining.
+func ClaimedBound(name string, p int) (bound int, kind BoundKind) {
+	if p < 1 {
+		p = 1
+	}
+	n := strings.ToLower(strings.TrimSpace(name))
+	switch {
+	case strings.HasPrefix(n, "klsm"):
+		k, _ := strconv.Atoi(n[4:])
+		return k * p, BoundRelaxed
+	case strings.HasPrefix(n, "slsm"):
+		k, _ := strconv.Atoi(n[4:])
+		return k, BoundRelaxed
+	case n == "spray" || n == "spraylist":
+		lg := math.Log2(float64(p) + 1)
+		return int(32 * float64(p) * lg * lg * lg), BoundRelaxed
+	case n == "dlsm" || strings.HasPrefix(n, "multiq"):
+		return 0, BoundNone
+	default:
+		return 0, BoundStrict
+	}
+}
+
+// ViolationsAbove counts replayed deletions whose rank exceeded bound,
+// using the result's power-of-two histogram buckets (conservative: a
+// bucket straddling the bound is counted only when it lies entirely above).
+func ViolationsAbove(res Result, bound int) uint64 {
+	if res.MaxRank <= bound {
+		return 0
+	}
+	var v uint64
+	for b, c := range res.Histogram {
+		if c == 0 {
+			continue
+		}
+		lo := 0
+		if b == 1 {
+			lo = 1
+		} else if b > 1 {
+			lo = 1 << (b - 1)
+		}
+		if lo > bound {
+			v += c
+		}
+	}
+	return v
+}

@@ -70,19 +70,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// flushHandle publishes a handle's buffered operations if it has any.
-func flushHandle(h pq.Handle) {
-	if f, ok := h.(pq.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// event is one logged operation.
-type event struct {
-	seq uint64 // global order stamp
-	id  uint64 // unique item identity (assigned at insert)
-	key uint64
-	del bool
+// Event is one logged operation of a linear history. The quality harness
+// produces them internally; the chaos checker (internal/chaos) builds its
+// own histories and feeds them to Replay, which is why the type is
+// exported.
+type Event struct {
+	Seq uint64 // global order stamp
+	ID  uint64 // unique item identity (assigned at insert)
+	Key uint64
+	Del bool
 }
 
 // Result summarizes the rank errors of one run.
@@ -109,7 +105,7 @@ func Run(cfg Config) Result {
 	var nextID atomic.Uint64
 
 	// Prefill, logged.
-	prefillEvents := make([]event, 0, cfg.Prefill)
+	prefillEvents := make([]Event, 0, cfg.Prefill)
 	{
 		h := q.Handle()
 		r := rng.New(cfg.Seed ^ 0xd1b54a32d192ed03)
@@ -117,14 +113,14 @@ func Run(cfg Config) Result {
 		for i := 0; i < cfg.Prefill; i++ {
 			k := gen.Next()
 			id := nextID.Add(1)
-			prefillEvents = append(prefillEvents, event{seq: seq.Add(1), id: id, key: k})
+			prefillEvents = append(prefillEvents, Event{Seq: seq.Add(1), ID: id, Key: k})
 			h.Insert(k, id)
 		}
-		flushHandle(h)
+		pq.Flush(h)
 	}
 
 	// Measured phase.
-	logs := make([][]event, cfg.Threads)
+	logs := make([][]Event, cfg.Threads)
 	var start = make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Threads; w++ {
@@ -135,21 +131,21 @@ func Run(cfg Config) Result {
 			r := rng.New(cfg.Seed + uint64(w)*0x6a09e667f3bcc909)
 			gen := keys.NewGenerator(cfg.KeyDist, r)
 			policy := workload.ForWorkerBatched(cfg.Workload, w, cfg.Threads, cfg.InsertFrac, cfg.BatchSize, r)
-			local := make([]event, 0, cfg.OpsPerThread)
+			local := make([]Event, 0, cfg.OpsPerThread)
 			<-start
 			for i := 0; i < cfg.OpsPerThread; i++ {
 				if policy.Next() == workload.Insert {
 					k := gen.Next()
 					id := nextID.Add(1)
 					// Stamp BEFORE the insert takes effect.
-					local = append(local, event{seq: seq.Add(1), id: id, key: k})
+					local = append(local, Event{Seq: seq.Add(1), ID: id, Key: k})
 					h.Insert(k, id)
 				} else {
 					k, id, ok := h.DeleteMin()
 					if ok {
 						gen.Observe(k)
 						// Stamp AFTER the delete returned.
-						local = append(local, event{seq: seq.Add(1), id: id, key: k, del: true})
+						local = append(local, Event{Seq: seq.Add(1), ID: id, Key: k, Del: true})
 					}
 				}
 			}
@@ -158,7 +154,7 @@ func Run(cfg Config) Result {
 			// logged as inserted but never deleted, and Flush returns them to
 			// the shared structure, so the replay neither loses nor
 			// duplicates items.
-			flushHandle(h)
+			pq.Flush(h)
 			logs[w] = local
 		}(w)
 	}
@@ -170,23 +166,23 @@ func Run(cfg Config) Result {
 	for _, l := range logs {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
 
 	return Replay(all)
 }
 
 // Replay runs a linear history against the order-statistics tree and
 // aggregates the rank of every deletion.
-func Replay(history []event) Result {
+func Replay(history []Event) Result {
 	var tree ostree.Tree
 	var acc stats.Welford
 	res := Result{Histogram: make([]uint64, 1)}
 	for _, e := range history {
-		if !e.del {
-			tree.Insert(e.key, e.id)
+		if !e.Del {
+			tree.Insert(e.Key, e.ID)
 			continue
 		}
-		rank, ok := tree.Delete(e.key, e.id)
+		rank, ok := tree.Delete(e.Key, e.ID)
 		if !ok {
 			// The item is missing from the replay tree. With the stamping
 			// discipline this cannot happen for a correct queue; count it
@@ -219,7 +215,8 @@ func bucketOf(rank int) int {
 	return b
 }
 
-// MakeEvent builds a log event; exported for tests of Replay.
-func MakeEvent(seq, id, key uint64, del bool) event {
-	return event{seq: seq, id: id, key: key, del: del}
+// MakeEvent builds a log event; a shorthand for Event literals kept for
+// tests of Replay.
+func MakeEvent(seq, id, key uint64, del bool) Event {
+	return Event{Seq: seq, ID: id, Key: key, Del: del}
 }

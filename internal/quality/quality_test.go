@@ -1,13 +1,10 @@
 package quality
 
 import (
-	"math"
 	"testing"
 
 	"cpq/internal/keys"
-	"cpq/internal/multiq"
 	"cpq/internal/pq"
-	"cpq/internal/rng"
 	"cpq/internal/seqheap"
 	"cpq/internal/workload"
 )
@@ -17,7 +14,7 @@ func glFactory(threads int) pq.Queue { return seqheap.NewGlobalLock() }
 func TestReplayStrictHistory(t *testing.T) {
 	// insert 3 (id1), insert 1 (id2), delete 1, insert 2 (id3), delete 2,
 	// delete 3 — a strict queue: all ranks 0.
-	hist := []event{
+	hist := []Event{
 		MakeEvent(1, 1, 3, false),
 		MakeEvent(2, 2, 1, false),
 		MakeEvent(3, 2, 1, true),
@@ -40,7 +37,7 @@ func TestReplayStrictHistory(t *testing.T) {
 func TestReplayRelaxedHistory(t *testing.T) {
 	// Items 1,2,3 inserted; delete 3 first (rank 2), then 1 (rank 0),
 	// then 2 (rank 0).
-	hist := []event{
+	hist := []Event{
 		MakeEvent(1, 1, 1, false),
 		MakeEvent(2, 2, 2, false),
 		MakeEvent(3, 3, 3, false),
@@ -64,7 +61,7 @@ func TestReplayRelaxedHistory(t *testing.T) {
 func TestReplayDuplicateKeysPessimistic(t *testing.T) {
 	// Two items with equal keys; deleting either scores rank 0 (strictly
 	// smaller keys only), per the pessimistic duplicate handling.
-	hist := []event{
+	hist := []Event{
 		MakeEvent(1, 1, 5, false),
 		MakeEvent(2, 2, 5, false),
 		MakeEvent(3, 2, 5, true),
@@ -130,73 +127,5 @@ func TestRunDefaults(t *testing.T) {
 	}
 	if (Config{Prefill: -1}).withDefaults().Prefill != 1_000_000 {
 		t.Fatal("negative prefill did not select default")
-	}
-}
-
-// TestEngineeredRankErrorFinite runs the full quality benchmark against the
-// engineered MultiQueue (stickiness + buffers): the run must replay a
-// non-trivial number of deletions and report a finite mean rank — buffers
-// are flushed before the log is merged, so no item is lost or duplicated.
-func TestEngineeredRankErrorFinite(t *testing.T) {
-	res := Run(Config{
-		NewQueue: func(threads int) pq.Queue {
-			return multiq.NewEngineered(2, threads, 4, 8)
-		},
-		Threads:      4,
-		OpsPerThread: 4000,
-		Workload:     workload.Uniform,
-		KeyDist:      keys.Uniform32,
-		Prefill:      2000,
-		Seed:         13,
-	})
-	if res.Deletions == 0 {
-		t.Fatal("no deletions replayed")
-	}
-	if math.IsNaN(res.MeanRank) || math.IsInf(res.MeanRank, 0) || res.MeanRank < 0 {
-		t.Fatalf("mean rank %v is not finite", res.MeanRank)
-	}
-	if math.IsNaN(res.StddevRank) || math.IsInf(res.StddevRank, 0) {
-		t.Fatalf("stddev rank %v is not finite", res.StddevRank)
-	}
-}
-
-// TestEngineeredReplayLossless drives the engineered MultiQueue through a
-// logged insert/delete history and drains it completely: every logged
-// deletion must find its item in the replay tree (Deletions == total), i.e.
-// buffering neither loses nor duplicates items in the reconstructed history.
-func TestEngineeredReplayLossless(t *testing.T) {
-	q := multiq.NewEngineered(2, 1, 4, 8)
-	h := q.Handle()
-	r := rng.New(3)
-	var events []event
-	var seq uint64
-	const n = 5000
-	for i := 0; i < n; i++ {
-		k := r.Uint64() % 10000
-		id := uint64(i + 1)
-		seq++
-		events = append(events, MakeEvent(seq, id, k, false))
-		h.Insert(k, id)
-		if i%3 == 0 {
-			if k, id, ok := h.DeleteMin(); ok {
-				seq++
-				events = append(events, MakeEvent(seq, id, k, true))
-			}
-		}
-	}
-	if f, ok := h.(pq.Flusher); ok {
-		f.Flush()
-	}
-	for {
-		k, id, ok := h.DeleteMin()
-		if !ok {
-			break
-		}
-		seq++
-		events = append(events, MakeEvent(seq, id, k, true))
-	}
-	res := Replay(events)
-	if res.Deletions != n {
-		t.Fatalf("replayed %d deletions of %d inserted items — item lost or duplicated", res.Deletions, n)
 	}
 }

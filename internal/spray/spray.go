@@ -21,6 +21,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"cpq/internal/chaos"
 	"cpq/internal/pq"
 	"cpq/internal/rng"
 	"cpq/internal/skiplist"
@@ -146,6 +147,9 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 		h.tel.Inc(telemetry.SprayMiss)
 	}
 	h.tel.Inc(telemetry.SprayFallback)
+	// Failpoint: stall at fallback entry so concurrent deleters contend on
+	// the strict head scan.
+	chaos.Perturb(chaos.SprayFallback)
 	// Fallback: strict scan from the head (also the emptiness check).
 	// With P=1 the spray geometry is tiny, so this path mirrors an exact
 	// delete_min queue.
@@ -165,6 +169,13 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 // sprayOnce performs one spray walk and tries to claim a node at or after
 // the landing point. Returns nil on a miss.
 func (h *Handle) sprayOnce() *skiplist.Node {
+	// Failpoint: a forced miss exercises the retry and fallback paths; a
+	// perturbation delays the walk so the landing region drains under it.
+	// Both happen before any node is claimed, so no item can be dropped.
+	if chaos.ShouldFail(chaos.SprayWalk) {
+		return nil
+	}
+	chaos.Perturb(chaos.SprayWalk)
 	q := h.q
 	curr := q.list.Head()
 	level := q.height

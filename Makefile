@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm check chaos repro verify profile examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist check chaos repro verify profile examples clean
 
 all: build vet test
 
@@ -21,12 +21,13 @@ race:
 
 # CI gate: vet + build everything, then the race-sensitive packages (the
 # engineered MultiQueue's buffer stealing, the k-LSM's pooled hot path with
-# spy/run-buffer stealing, the quality replay, and the chaos checker) under
-# the race detector, plus a short-budget chaos pass over the whole registry.
+# spy/run-buffer stealing, the packed-word skiplist substrate and its
+# lock-free queues, the quality replay, and the chaos checker) under the
+# race detector, plus a short-budget chaos pass over the whole registry.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/core/ ./internal/multiq/ ./internal/quality/ ./internal/chaos/
+	$(GO) test -race ./internal/core/ ./internal/multiq/ ./internal/skiplist/ ./internal/linden/ ./internal/spray/ ./internal/quality/ ./internal/chaos/
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500
 
 # Fault-injection stress pass: every registry queue under seeded schedule
@@ -51,6 +52,13 @@ bench-engineered:
 # microbench; benchstat-comparable output, allocs/op via -benchmem.
 bench-klsm:
 	$(GO) test -bench='^BenchmarkKLSM' -benchmem -benchtime=1s -count=3 .
+
+# The skiplist-substrate acceptance benches: the fig-4a uniform-workload
+# cell at 8 threads for linden/spray/lotan plus the single-threaded linden
+# insert+delete-min allocation microbench; benchstat-comparable output,
+# allocs/op via -benchmem.
+bench-skiplist:
+	$(GO) test -bench='^BenchmarkSkiplistPQ$$|^BenchmarkLindenInsertDeleteMin$$' -benchmem -benchtime=1s -count=3 .
 
 # Every paper figure/table as a testing.B bench, fixed op count for speed.
 bench-quick:

@@ -342,6 +342,50 @@ func BenchmarkKLSMInsertDeleteMin(b *testing.B) {
 	}
 }
 
+// BenchmarkSkiplistPQ is the acceptance benchmark for the arena-backed
+// packed-word skiplist substrate: the fig-4a headline cell (uniform
+// workload, uniform 32-bit keys) at 8 threads for the three skiplist-based
+// queues. Benchstat-comparable across commits:
+//
+//	go test -bench='^BenchmarkSkiplistPQ$' -benchmem -benchtime=1s -count=3 | benchstat -
+func BenchmarkSkiplistPQ(b *testing.B) {
+	for _, name := range []string{"linden", "spray", "lotan"} {
+		b.Run(fmt.Sprintf("%s/t8", name), func(b *testing.B) {
+			benchThroughputCell(b, factory(name), 8, workload.Uniform, keys.Uniform32)
+		})
+	}
+}
+
+// BenchmarkLindenInsertDeleteMin is the single-threaded insert+delete-min
+// microbenchmark behind the skiplist allocs/op acceptance target: one
+// handle alternating Insert and DeleteMin over a live working set, so the
+// allocs/op column (-benchmem) isolates the substrate's per-operation
+// allocation behaviour from scheduler and contention noise. The working
+// set matters: alternating on a near-empty queue is a known Lindén
+// pathology (each insert splices in front of the dead prefix, so the
+// restructure trigger never fires and the dead chain grows without bound)
+// and measures that degenerate walk, not the substrate. Expected: 0
+// allocs/op on DeleteMin and the rare slab refill on Insert (<=0.01
+// allocs/op for the pair).
+func BenchmarkLindenInsertDeleteMin(b *testing.B) {
+	q := factory("linden")(1)
+	h := q.Handle()
+	r := rng.New(1)
+	for i := 0; i < 8192; i++ { // live working set
+		h.Insert(r.Uint64()&0xffffffff, 0)
+	}
+	for i := 0; i < 4096; i++ { // reach steady state before measuring
+		h.Insert(r.Uint64()&0xffffffff, 0)
+		h.DeleteMin()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(r.Uint64()&0xffffffff, 0)
+		h.DeleteMin()
+	}
+}
+
 // AblationExtensions covers the appendix-D extension queues on the
 // headline cell for completeness.
 func BenchmarkAblationExtensions(b *testing.B) {

@@ -96,22 +96,35 @@ const (
 	// (spray/spray.go:DeleteMin). Perturbed at entry so concurrent
 	// deleters contend on the list head.
 	SprayFallback
+	// LindenSplice is the Lindén insert's validated level-0 splice CAS
+	// (linden/linden.go:Insert). Perturbed between the find and the CAS so
+	// the window can go stale under the inserter; a forced failure is
+	// treated exactly like a lost splice and redoes the find.
+	LindenSplice
+	// LindenRestructure is the Lindén batch physical unlink of the dead
+	// prefix (linden/linden.go:restructure). Perturbed at entry so
+	// concurrent delete_mins keep walking the prefix mid-cleanup; a forced
+	// failure abandons the restructure, leaving the dead prefix for a
+	// later call — the same outcome as losing every unlink CAS to helpers.
+	LindenRestructure
 
 	// NumFailpoints bounds per-failpoint state; not a failpoint itself.
 	NumFailpoints
 )
 
 var fpNames = [NumFailpoints]string{
-	SLSMPublish:   "slsm-publish",
-	SLSMRepublish: "slsm-republish",
-	SLSMPivotTake: "slsm-pivot-take",
-	KLSMRunBuffer: "klsm-run-buffer",
-	KLSMSpy:       "klsm-spy",
-	MQLock:        "mq-lock",
-	MQFlush:       "mq-flush",
-	MQRefill:      "mq-refill",
-	SprayWalk:     "spray-walk",
-	SprayFallback: "spray-fallback",
+	SLSMPublish:       "slsm-publish",
+	SLSMRepublish:     "slsm-republish",
+	SLSMPivotTake:     "slsm-pivot-take",
+	KLSMRunBuffer:     "klsm-run-buffer",
+	KLSMSpy:           "klsm-spy",
+	MQLock:            "mq-lock",
+	MQFlush:           "mq-flush",
+	MQRefill:          "mq-refill",
+	SprayWalk:         "spray-walk",
+	SprayFallback:     "spray-fallback",
+	LindenSplice:      "linden-splice",
+	LindenRestructure: "linden-restructure",
 }
 
 // String returns the failpoint's short identifier, e.g. "slsm-publish".

@@ -18,14 +18,23 @@
 // front of any dead nodes that follow it, using a validated CAS (skiplist.Ref)
 // so that the decision taken during the search cannot be invalidated
 // between search and link.
+//
+// On the packed-word substrate the dead-prefix walk is a scan over
+// consecutive arena words rather than a pointer chase, which is what makes
+// the batching pay: the walked prefix is cheap, so BoundOffset can stay
+// large. Telemetry reports the walk length (linden-dead-walk), restructures
+// and splice retries; chaos failpoints cover the validated splice and the
+// restructure (DESIGN.md §5, §6).
 package linden
 
 import (
 	"sync/atomic"
 
+	"cpq/internal/chaos"
 	"cpq/internal/pq"
 	"cpq/internal/rng"
 	"cpq/internal/skiplist"
+	"cpq/internal/telemetry"
 )
 
 // DefaultBoundOffset is the physical-deletion batching threshold. Lindén and
@@ -58,13 +67,21 @@ func (q *Queue) Name() string { return "linden" }
 
 // Handle implements pq.Queue.
 func (q *Queue) Handle() pq.Handle {
-	return &Handle{q: q, rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15))}
+	return &Handle{
+		q:   q,
+		sh:  q.list.NewHandle(),
+		rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15)),
+		tel: telemetry.NewShard(),
+	}
 }
 
-// Handle is a per-goroutine handle. It only carries the tower-height RNG.
+// Handle is a per-goroutine handle: the tower-height RNG, the arena
+// allocator and the telemetry shard.
 type Handle struct {
 	q   *Queue
+	sh  *skiplist.Handle
 	rng *rng.Xoroshiro
+	tel *telemetry.Shard
 }
 
 var _ pq.Handle = (*Handle)(nil)
@@ -74,9 +91,10 @@ var _ pq.Peeker = (*Handle)(nil)
 func (h *Handle) Insert(key, value uint64) {
 	q := h.q
 	height := skiplist.RandomHeight(h.rng)
-	n := skiplist.NewNode(key, value, height)
-	var preds [skiplist.MaxHeight]*skiplist.Node
+	n := h.sh.NewNode(key, value, height)
+	var preds [skiplist.MaxHeight]skiplist.Node
 	var succRefs [skiplist.MaxHeight]skiplist.Ref
+	retries := uint64(0)
 	for {
 		q.find(key, &preds, &succRefs)
 		// Level 0: validated splice after the last live node with a smaller
@@ -87,10 +105,16 @@ func (h *Handle) Insert(key, value uint64) {
 		for i := 1; i < height; i++ {
 			n.SetNext(i, succRefs[i].Node(), false)
 		}
-		if preds[0].CASRef(0, succRefs[0], n, false) {
+		// Failpoint: widen the find-to-CAS window, or force a lost splice.
+		chaos.Perturb(chaos.LindenSplice)
+		if !chaos.ShouldFail(chaos.LindenSplice) && preds[0].CASRef(0, succRefs[0], n, false) {
 			break
 		}
 		// Window changed (concurrent insert or the pred was deleted).
+		retries++
+	}
+	if retries > 0 {
+		h.tel.Add(telemetry.LindenSpliceRetry, retries)
 	}
 	// Raise the tower best-effort; the node is already logically present.
 	for level := 1; level < height; level++ {
@@ -118,21 +142,21 @@ func (h *Handle) Insert(key, value uint64) {
 // key that is live (its level-0 pointer unmarked), together with a validated
 // snapshot of that node's forward pointer. Dead nodes are skipped but not
 // unlinked — batching physical deletion is the whole point of this design.
-func (q *Queue) find(key uint64, preds *[skiplist.MaxHeight]*skiplist.Node, succRefs *[skiplist.MaxHeight]skiplist.Ref) {
+func (q *Queue) find(key uint64, preds *[skiplist.MaxHeight]skiplist.Node, succRefs *[skiplist.MaxHeight]skiplist.Ref) {
 retry:
 	for {
 		pred := q.list.Head()
 		predRef := pred.LoadRef(skiplist.MaxHeight - 1)
 		for level := skiplist.MaxHeight - 1; level >= 0; level-- {
 			curr := predRef.Node()
-			for curr != nil {
+			for !curr.IsNil() {
 				if curr.DeletedAt0() || (level > 0 && currMarkedAt(curr, level)) {
 					// Dead (or frozen at this level): skip without helping.
 					next, _ := curr.Next(level)
 					curr = next
 					continue
 				}
-				if curr.Key >= key {
+				if curr.Key() >= key {
 					break
 				}
 				pred = curr
@@ -165,7 +189,7 @@ retry:
 	}
 }
 
-func currMarkedAt(n *skiplist.Node, level int) bool {
+func currMarkedAt(n skiplist.Node, level int) bool {
 	if level >= n.Height() {
 		return false
 	}
@@ -180,7 +204,7 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 	q := h.q
 	curr, _ := q.list.Head().Next(0)
 	offset := 0
-	for curr != nil {
+	for !curr.IsNil() {
 		ref := curr.LoadRef(0)
 		if ref.Marked() {
 			offset++
@@ -189,19 +213,25 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 		}
 		if curr.CASRef(0, ref, ref.Node(), true) {
 			// Logically deleted curr; we own it.
-			if offset >= q.boundOffset {
-				q.restructure()
+			if offset > 0 {
+				h.tel.Add(telemetry.LindenDeadWalk, uint64(offset))
 			}
-			return curr.Key, curr.Value, true
+			if offset >= q.boundOffset {
+				h.restructure()
+			}
+			return curr.Key(), curr.Value(), true
 		}
 		// CAS failed: either curr was deleted (advance on the next loop
 		// iteration via the fresh LoadRef) or an insert spliced a node
 		// after curr (retry the CAS against the fresh pointer).
 	}
+	if offset > 0 {
+		h.tel.Add(telemetry.LindenDeadWalk, uint64(offset))
+	}
 	if offset >= q.boundOffset {
 		// The queue looks empty but a long dead prefix remains; clean it up
 		// so it does not tax every subsequent operation.
-		q.restructure()
+		h.restructure()
 	}
 	return 0, 0, false
 }
@@ -210,18 +240,27 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 // concurrency; used by examples and tests).
 func (h *Handle) PeekMin() (key, value uint64, ok bool) {
 	n := h.q.list.FirstLive()
-	if n == nil {
+	if n.IsNil() {
 		return 0, 0, false
 	}
-	return n.Key, n.Value, true
+	return n.Key(), n.Value(), true
 }
 
 // restructure physically unlinks the dead prefix: it freezes the towers of
 // all currently dead prefix nodes and then lets a helping Find swing the
 // head's pointers past them at every level.
-func (q *Queue) restructure() {
+func (h *Handle) restructure() {
+	h.tel.Inc(telemetry.LindenRestructure)
+	// Failpoint: a forced failure abandons the restructure (equivalent to
+	// losing every unlink CAS to helpers — the dead prefix survives for a
+	// later call); a perturbation stalls it mid-cleanup.
+	if chaos.ShouldFail(chaos.LindenRestructure) {
+		return
+	}
+	chaos.Perturb(chaos.LindenRestructure)
+	q := h.q
 	curr, _ := q.list.Head().Next(0)
-	for curr != nil {
+	for !curr.IsNil() {
 		succ, marked := curr.Next(0)
 		if !marked {
 			break
@@ -229,7 +268,7 @@ func (q *Queue) restructure() {
 		curr.MarkTower()
 		curr = succ
 	}
-	var preds, succs [skiplist.MaxHeight]*skiplist.Node
+	var preds, succs [skiplist.MaxHeight]skiplist.Node
 	q.list.Find(0, &preds, &succs)
 }
 
@@ -242,7 +281,7 @@ func (q *Queue) Len() int { return q.list.CountLive() }
 // Drain removes remaining live items (single-threaded teardown helper) and
 // returns their keys in ascending order of removal.
 func (q *Queue) Drain() []uint64 {
-	h := &Handle{q: q, rng: rng.New(1)}
+	h := q.Handle().(*Handle)
 	var out []uint64
 	for {
 		k, _, ok := h.DeleteMin()

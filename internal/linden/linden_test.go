@@ -109,7 +109,7 @@ func TestRestructureCleansPrefix(t *testing.T) {
 	// nodes; after draining, at most ~bound dead nodes linger.
 	count := 0
 	n, _ := q.list.Head().Next(0)
-	for n != nil {
+	for !n.IsNil() {
 		count++
 		n, _ = n.Next(0)
 	}

@@ -51,12 +51,12 @@ func (q *Queue) DeleteMin() (key, value uint64, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n, _ := q.list.Head().Next(0)
-	if n == nil {
+	if n.IsNil() {
 		return 0, 0, false
 	}
 	n.MarkTower()
 	q.list.Unlink(n)
-	return n.Key, n.Value, true
+	return n.Key(), n.Value(), true
 }
 
 // PeekMin implements pq.Peeker.
@@ -64,10 +64,10 @@ func (q *Queue) PeekMin() (key, value uint64, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n, _ := q.list.Head().Next(0)
-	if n == nil {
+	if n.IsNil() {
 		return 0, 0, false
 	}
-	return n.Key, n.Value, true
+	return n.Key(), n.Value(), true
 }
 
 // Len counts items (O(n); tests only).

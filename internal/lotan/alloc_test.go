@@ -1,0 +1,48 @@
+package lotan
+
+import (
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+// Allocation-regression tests for the packed-word substrate (mirroring
+// internal/core/alloc_test.go): DeleteMin — claim, mark tower, helped
+// unlink — must be allocation-free; Insert amortizes to the slab refill.
+
+func steadyLotan() (*Queue, *Handle, *rng.Xoroshiro) {
+	q := New()
+	h := q.Handle().(*Handle)
+	r := rng.New(42)
+	for i := 0; i < 4096; i++ {
+		h.Insert(r.Uint64()&0xffff, 0)
+		h.DeleteMin()
+	}
+	return q, h, r
+}
+
+func TestLotanInsertAllocsAmortized(t *testing.T) {
+	_, h, r := steadyLotan()
+	avg := testing.AllocsPerRun(2000, func() {
+		h.Insert(r.Uint64()&0xffff, 0)
+	})
+	if avg > 1.0 {
+		t.Errorf("lotan Insert allocates %.3f allocs/op at steady state, want <= 1.0 (slab refills only)", avg)
+	}
+}
+
+func TestLotanDeleteMinZeroAllocs(t *testing.T) {
+	_, h, r := steadyLotan()
+	const runs = 2000
+	for i := 0; i < runs+100; i++ {
+		h.Insert(r.Uint64()&0xffff, 0)
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		if _, _, ok := h.DeleteMin(); !ok {
+			t.Fatal("queue ran empty mid-measurement")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("lotan DeleteMin allocates %.3f allocs/op at steady state, want 0", avg)
+	}
+}

@@ -10,7 +10,8 @@
 // Compared to Lindén-Jonsson, every deletion performs physical removal
 // immediately, which concentrates memory contention at the list head — the
 // exact behaviour Lindén-Jonsson's batching improves on, and an interesting
-// ablation pair for the benchmarks.
+// ablation pair for the benchmarks. The lotan-claim-fail counter reports
+// the scan steps lost to that head contention (DESIGN.md §5).
 //
 // Registry identifier: "lotan"; strict at quiescence (cmd/pqverify checks
 // rank 0 within stamping slack). It shares internal/skiplist with linden
@@ -25,6 +26,7 @@ import (
 	"cpq/internal/pq"
 	"cpq/internal/rng"
 	"cpq/internal/skiplist"
+	"cpq/internal/telemetry"
 )
 
 // Queue is a Shavit-Lotan style priority queue.
@@ -43,13 +45,21 @@ func (q *Queue) Name() string { return "lotan" }
 
 // Handle implements pq.Queue.
 func (q *Queue) Handle() pq.Handle {
-	return &Handle{q: q, rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15))}
+	return &Handle{
+		q:   q,
+		sh:  q.list.NewHandle(),
+		rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15)),
+		tel: telemetry.NewShard(),
+	}
 }
 
-// Handle is a per-goroutine handle carrying the tower-height RNG.
+// Handle is a per-goroutine handle carrying the tower-height RNG, the arena
+// allocator and the telemetry shard.
 type Handle struct {
 	q   *Queue
+	sh  *skiplist.Handle
 	rng *rng.Xoroshiro
+	tel *telemetry.Shard
 }
 
 var _ pq.Handle = (*Handle)(nil)
@@ -57,7 +67,7 @@ var _ pq.Peeker = (*Handle)(nil)
 
 // Insert implements pq.Handle.
 func (h *Handle) Insert(key, value uint64) {
-	h.q.list.Insert(key, value, skiplist.RandomHeight(h.rng))
+	h.sh.Insert(key, value, skiplist.RandomHeight(h.rng))
 }
 
 // DeleteMin implements pq.Handle: claim the first unclaimed node from the
@@ -65,13 +75,21 @@ func (h *Handle) Insert(key, value uint64) {
 func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 	l := h.q.list
 	curr, _ := l.Head().Next(0)
-	for curr != nil {
+	fails := uint64(0)
+	for !curr.IsNil() {
 		if !curr.IsClaimed() && !curr.DeletedAt0() && curr.TryClaim() {
 			curr.MarkTower()
 			l.Unlink(curr)
-			return curr.Key, curr.Value, true
+			if fails > 0 {
+				h.tel.Add(telemetry.LotanClaimFail, fails)
+			}
+			return curr.Key(), curr.Value(), true
 		}
+		fails++
 		curr, _ = curr.Next(0)
+	}
+	if fails > 0 {
+		h.tel.Add(telemetry.LotanClaimFail, fails)
 	}
 	return 0, 0, false
 }
@@ -79,10 +97,10 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 // PeekMin reports the first unclaimed node without removing it.
 func (h *Handle) PeekMin() (key, value uint64, ok bool) {
 	n := h.q.list.FirstLive()
-	if n == nil {
+	if n.IsNil() {
 		return 0, 0, false
 	}
-	return n.Key, n.Value, true
+	return n.Key(), n.Value(), true
 }
 
 // Len counts live items. O(n); tests and draining only.

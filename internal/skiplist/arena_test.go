@@ -1,0 +1,162 @@
+package skiplist
+
+import (
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+// Arena-regression tests for the packed-word substrate. The boxed-ref
+// implementation allocated one reference cell per link update and a full
+// MaxHeight tower per node; the arena must stay at zero allocations per
+// link update and amortize node allocation to the slab refill. These tests
+// also pin the reclamation rule the ABA argument rests on: arena indices
+// are never reused while the list lives.
+
+func TestIndexesNeverReused(t *testing.T) {
+	// Insert, delete and re-insert heavily; every allocated index must be
+	// strictly larger than all indices handed out before it.
+	l := New()
+	h := l.NewHandle()
+	r := rng.New(11)
+	maxIdx := l.Head().Index()
+	for i := 0; i < 30000; i++ {
+		n := h.Insert(r.Uint64()%256, 0, RandomHeight(r))
+		if n.Index() <= maxIdx {
+			t.Fatalf("index %d handed out after %d: indices reused", n.Index(), maxIdx)
+		}
+		maxIdx = n.Index()
+		if i%2 == 0 && n.TryClaim() {
+			n.MarkTower()
+			l.Unlink(n)
+		}
+	}
+}
+
+func TestNodesNeverRecycledWhileReferenced(t *testing.T) {
+	// The reclamation rule: node memory is never reused while a stale
+	// traversal, snapshot or held handle may still reference it. Hold
+	// handles to consumed nodes, churn the list hard enough that a
+	// recycling allocator would repurpose their words many times over, and
+	// verify the held nodes are bit-for-bit intact.
+	l := New()
+	h := l.NewHandle()
+	r := rng.New(12)
+	type held struct {
+		n      Node
+		k, v   uint64
+		height int
+	}
+	var holds []held
+	for i := uint64(0); i < 256; i++ {
+		n := h.Insert(i, i*7+1, RandomHeight(r))
+		holds = append(holds, held{n: n, k: i, v: i*7 + 1, height: n.Height()})
+	}
+	// Consume every held node, then churn.
+	for _, hd := range holds {
+		if hd.n.TryClaim() {
+			hd.n.MarkTower()
+			l.Unlink(hd.n)
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		n := h.Insert(r.Uint64()%100000, 3, RandomHeight(r))
+		n.MarkTower()
+		l.Unlink(n)
+	}
+	for i, hd := range holds {
+		if hd.n.Key() != hd.k || hd.n.Value() != hd.v {
+			t.Fatalf("held node %d mutated: %d/%d, want %d/%d",
+				i, hd.n.Key(), hd.n.Value(), hd.k, hd.v)
+		}
+		if hd.n.Height() != hd.height {
+			t.Fatalf("held node %d height mutated: %d, want %d", i, hd.n.Height(), hd.height)
+		}
+		if !hd.n.DeletedAt0() || !hd.n.IsClaimed() {
+			t.Fatalf("held node %d lost its mark or claim", i)
+		}
+	}
+}
+
+func TestPackedWordBitsCoexist(t *testing.T) {
+	// Height, claim and mark all live in the level-0 word and must not
+	// clobber one another through any mutation path.
+	l := New()
+	h := l.NewHandle()
+	n := h.Insert(42, 7, 5)
+	if n.Height() != 5 || n.IsClaimed() || n.DeletedAt0() {
+		t.Fatalf("fresh node: height %d claimed %v dead %v", n.Height(), n.IsClaimed(), n.DeletedAt0())
+	}
+	if !n.TryClaim() {
+		t.Fatal("claim failed")
+	}
+	if n.TryClaim() {
+		t.Fatal("second claim succeeded")
+	}
+	if n.Height() != 5 || n.DeletedAt0() {
+		t.Fatal("claim clobbered height or mark")
+	}
+	n.MarkTower()
+	if n.Height() != 5 || !n.IsClaimed() || !n.DeletedAt0() {
+		t.Fatalf("after mark: height %d claimed %v dead %v", n.Height(), n.IsClaimed(), n.DeletedAt0())
+	}
+	if n.Key() != 42 || n.Value() != 7 {
+		t.Fatal("key/value corrupted")
+	}
+}
+
+func TestHeadSentinel(t *testing.T) {
+	l := New()
+	head := l.Head()
+	if head.IsNil() {
+		t.Fatal("head is the nil sentinel")
+	}
+	if head.Index() != 1 {
+		t.Fatalf("head index = %d, want 1 (index 0 is reserved for nil)", head.Index())
+	}
+	if head.Height() != MaxHeight {
+		t.Fatalf("head height = %d, want %d", head.Height(), MaxHeight)
+	}
+}
+
+func TestInsertAllocsAmortized(t *testing.T) {
+	// Node allocation is a pointer bump; only the slab refill allocates
+	// (one 64 KiB slab per ~2000 average nodes).
+	l := New()
+	h := l.NewHandle()
+	r := rng.New(13)
+	avg := testing.AllocsPerRun(2000, func() {
+		h.Insert(r.Uint64()&0xffff, 0, RandomHeight(r))
+	})
+	if avg > 1.0 {
+		t.Errorf("Insert allocates %.3f allocs/op, want <= 1.0 (slab refills only)", avg)
+	}
+}
+
+func TestLinkUpdateZeroAllocs(t *testing.T) {
+	// Marking, claiming, unlinking and helped finds must not allocate at
+	// all — that was the boxed-ref implementation's per-link-update cost.
+	l := New()
+	h := l.NewHandle()
+	r := rng.New(14)
+	for i := 0; i < 512; i++ {
+		h.Insert(r.Uint64()&0xffff, 0, RandomHeight(r))
+	}
+	nodes := make([]Node, 0, 2100)
+	for i := 0; i < 2100; i++ {
+		nodes = append(nodes, h.Insert(r.Uint64()&0xffff, 0, RandomHeight(r)))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		n := nodes[i]
+		i++
+		if !n.TryClaim() {
+			t.Fatal("claim failed on private node")
+		}
+		n.MarkTower()
+		l.Unlink(n)
+	})
+	if avg != 0 {
+		t.Errorf("claim+mark+unlink allocates %.3f allocs/op, want 0", avg)
+	}
+}

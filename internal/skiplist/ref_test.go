@@ -9,7 +9,7 @@ func TestLoadRefSnapshot(t *testing.T) {
 	l := New()
 	a := l.Insert(1, 1, 1)
 	r := a.LoadRef(0)
-	if r.Node() != nil || r.Marked() {
+	if !r.Node().IsNil() || r.Marked() {
 		t.Fatalf("fresh node ref = (%v, %v)", r.Node(), r.Marked())
 	}
 	hr := l.Head().LoadRef(0)
@@ -18,13 +18,13 @@ func TestLoadRefSnapshot(t *testing.T) {
 	}
 }
 
-func TestCASRefValidatesExactSnapshot(t *testing.T) {
+func TestCASRefValidatesSnapshot(t *testing.T) {
 	l := New()
 	a := l.Insert(10, 0, 1)
 	snap := l.Head().LoadRef(0)
-	// Change the pointer cell (insert a smaller node), then try to CAS with
-	// the stale snapshot: must fail even though the logical target (a) could
-	// be re-observed — Ref validates physical identity, not value equality.
+	// Change the pointer word (insert a smaller node), then try to CAS with
+	// the stale snapshot: must fail — the word no longer holds the
+	// snapshotted value.
 	b := l.Insert(5, 0, 1)
 	if l.Head().CASRef(0, snap, a, false) {
 		t.Fatal("stale snapshot CAS succeeded")
@@ -39,42 +39,85 @@ func TestCASRefValidatesExactSnapshot(t *testing.T) {
 	}
 }
 
-func TestCASRefABAImmunity(t *testing.T) {
-	// Even if the cell is restored to point at the same node, an old
-	// snapshot must not CAS successfully (reference cells are never reused).
+func TestCASRefBenignValueABA(t *testing.T) {
+	// The packed word validates by value, exactly like the C/C++
+	// tagged-pointer CAS: if the word is restored to the snapshotted value,
+	// a stale snapshot CASes successfully. This is the benign value ABA of
+	// the Harris scheme — under the no-reuse rule the restored index still
+	// names the same immutable, still-unmarked node, so the outcome is
+	// indistinguishable from the snapshot being fresh. The harmful ABA
+	// (the index meaning a *different* node) cannot occur: indices are
+	// never recycled while the list lives (TestIndexesNeverReused).
 	l := New()
 	a := l.Insert(10, 0, 1)
 	snap := l.Head().LoadRef(0)
 	b := l.Insert(5, 0, 1) // head -> b -> a
 	b.MarkTower()
-	l.Unlink(b) // head -> a again: same logical value as snap
+	l.Unlink(b) // head -> a again: same word value as snap
 	now := l.Head().LoadRef(0)
 	if now.Node() != a {
 		t.Fatalf("expected head->a after unlink, got %v", now.Node())
 	}
-	if l.Head().CASRef(0, snap, nil, false) {
-		t.Fatal("ABA: stale snapshot CAS succeeded after value restoration")
+	if !l.Head().CASRef(0, snap, a, false) {
+		t.Fatal("value-restored snapshot CAS failed; packed word should validate by value")
 	}
-	if !l.Head().CASRef(0, now, a, false) {
-		t.Fatal("current snapshot CAS failed")
+}
+
+func TestStaleSnapshotCannotResurrectMarkedWord(t *testing.T) {
+	// Marks are permanent: once a word is marked, every unmarked snapshot
+	// is stale forever, so no CAS through an old Ref can resurrect a
+	// logically deleted node — the property the Lindén claim CAS rests on.
+	l := New()
+	a := l.Insert(10, 0, 1)
+	snap := a.LoadRef(0) // (nil, unmarked)
+	a.MarkTower()
+	if a.CASRef(0, snap, Node{}, false) {
+		t.Fatal("stale unmarked snapshot CAS succeeded on a marked word")
+	}
+	if !a.DeletedAt0() {
+		t.Fatal("node lost its mark")
+	}
+}
+
+func TestCASRefStaleAfterConcurrentClaim(t *testing.T) {
+	// The level-0 word also carries the claim bit, so a concurrent claim
+	// invalidates link snapshots taken before it — callers see an ordinary
+	// lost CAS and retry against the fresh word.
+	l := New()
+	a := l.Insert(10, 0, 1)
+	snap := a.LoadRef(0)
+	if !a.TryClaim() {
+		t.Fatal("claim failed on fresh node")
+	}
+	if a.CASRef(0, snap, Node{}, false) {
+		t.Fatal("snapshot from before the claim still CASed")
+	}
+	fresh := a.LoadRef(0)
+	if !a.CASRef(0, fresh, Node{}, false) {
+		t.Fatal("fresh snapshot CAS failed")
+	}
+	if !a.IsClaimed() {
+		t.Fatal("link CAS clobbered the claim bit")
 	}
 }
 
 func TestNewNodeUnlinked(t *testing.T) {
-	n := NewNode(7, 70, 3)
-	if n.Key != 7 || n.Value != 70 || n.Height() != 3 {
-		t.Fatalf("node = %+v", n)
+	h := New().NewHandle()
+	n := h.NewNode(7, 70, 3)
+	if n.Key() != 7 || n.Value() != 70 || n.Height() != 3 {
+		t.Fatalf("node = key %d value %d height %d", n.Key(), n.Value(), n.Height())
 	}
-	for level := 0; level < MaxHeight; level++ {
-		if succ, marked := n.Next(level); succ != nil || marked {
+	for level := 0; level < n.Height(); level++ {
+		if succ, marked := n.Next(level); !succ.IsNil() || marked {
 			t.Fatalf("level %d not nil/unmarked", level)
 		}
 	}
 }
 
 func TestSetNextOnPrivateNode(t *testing.T) {
-	a := NewNode(1, 0, 2)
-	b := NewNode(2, 0, 2)
+	h := New().NewHandle()
+	a := h.NewNode(1, 0, 2)
+	b := h.NewNode(2, 0, 2)
 	a.SetNext(0, b, false)
 	a.SetNext(1, b, true)
 	if s, m := a.Next(0); s != b || m {
@@ -82,6 +125,9 @@ func TestSetNextOnPrivateNode(t *testing.T) {
 	}
 	if s, m := a.Next(1); s != b || !m {
 		t.Fatal("SetNext level 1 wrong")
+	}
+	if a.Height() != 2 {
+		t.Fatal("SetNext clobbered the height bits")
 	}
 }
 
@@ -96,7 +142,8 @@ func TestConcurrentCASRefSingleWinner(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			n := NewNode(uint64(i), 0, 1)
+			h := l.NewHandle()
+			n := h.NewNode(uint64(i), 0, 1)
 			n.SetNext(0, snap.Node(), false)
 			wins <- l.Head().CASRef(0, snap, n, false)
 		}(i)

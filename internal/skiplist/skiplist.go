@@ -4,23 +4,42 @@
 // The design follows Harris/Michael and Fraser: a node is deleted by first
 // marking its forward pointers (which freezes them) and then swinging the
 // predecessor's pointer past it; traversals help complete pending unlinks.
-// C and C++ implementations store the mark in a pointer tag bit. Go has no
-// tag bits and hand-packing pointers into uintptrs would hide them from the
-// garbage collector, so a forward pointer is an immutable reference cell
+// C and C++ implementations store the mark in a pointer tag bit and CAS the
+// tagged word. Go has no tag bits, so nodes live in per-list slabs of
+// atomic.Uint64 words and are addressed by 32-bit word index instead of by
+// pointer: a forward pointer is a single packed word
 //
-//	type ref struct { node *Node; marked bool }
+//	bit 0      mark
+//	bits 1-32  successor index (0 = nil)
 //
-// swapped atomically via atomic.Pointer[ref]. A CAS that expects an unmarked
-// cell fails exactly when a C++ CAS expecting an untagged pointer would fail,
-// so the algorithms' race behaviour is preserved; the cost is one small
-// allocation per link update, reclaimed by the GC (which also replaces the
-// epoch-based reclamation of the original codebases).
+// and a CAS on that word is exactly the C++ tagged-pointer CAS — no
+// allocation, no indirection. The level-0 word of a tower additionally
+// carries the node's height (bits 33-38) and the claim flag (bit 39) used by
+// the queues that delete logically before unlinking, so the whole mutable
+// state of a node fits in words the GC never has to trace.
+//
+// Towers are stored inline and truncated to the drawn height: a node is
+// 2 + height words (key, value, tower), ~32 B on average under the
+// geometric(1/2) height distribution, and nodes allocated by one handle are
+// adjacent in memory — the level-0 dead-prefix walk of the Lindén queue
+// reads consecutive cache lines instead of chasing heap pointers.
+//
+// Freedom from ABA follows from the reclamation rule the k-LSM's itemAlloc
+// established (DESIGN.md §4a): slab memory is never reused while the list
+// lives, so an index, once linked, refers to the same node forever, and a
+// mark, once set, is never cleared. A stale unmarked snapshot can therefore
+// only CAS successfully if the word genuinely still holds that value — the
+// benign "value ABA" of the original C codebases, in which a successor that
+// was unlinked and re-observed is still the same immutable node. The GC
+// frees whole slabs when the list itself is dropped, replacing the
+// epoch-based reclamation of the originals.
 //
 // The list is a multiset ordered by key: duplicate keys are allowed and are
 // exercised hard by the benchmark's 8-bit key distribution.
 package skiplist
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"cpq/internal/rng"
@@ -31,137 +50,276 @@ import (
 // growth.
 const MaxHeight = 24
 
-// Node is a skiplist node. Key and Value are immutable after insertion.
-// The Claimed flag supports queues that delete logically before unlinking
-// (Shavit-Lotan, SprayList); the Lindén-Jonsson queue instead uses the
-// level-0 mark itself as the deletion flag.
+// Arena geometry. Slabs hold 8192 words (64 KiB) each; the slab table is
+// sized for 2^27 words (~1 GiB), i.e. on the order of 30M average-height
+// nodes over the lifetime of one list — far beyond any benchmark cell.
+// Word index 0 is reserved as the nil sentinel and never handed out.
+const (
+	slabShift = 13
+	slabWords = 1 << slabShift
+	slabMask  = slabWords - 1
+	maxSlabs  = 1 << 14
+)
+
+// slab is one bump-allocated block of node words. Every word is atomic:
+// keys and values are written before publication and read after an
+// acquiring load of a link word, and link words are CASed concurrently.
+type slab [slabWords]atomic.Uint64
+
+// Packed forward-pointer layout (see the package comment). The link bits
+// (mark + successor index) are common to every tower word; height and claim
+// live in the level-0 word only and are preserved by link CASes.
+const (
+	markBit     = uint64(1)
+	idxShift    = 1
+	idxMask     = uint64(1)<<32 - 1
+	linkMask    = markBit | idxMask<<idxShift
+	heightShift = 33
+	heightMask  = uint64(0x3f)
+	claimedBit  = uint64(1) << 39
+)
+
+// packLink packs a (successor index, mark) pair into the link bits.
+func packLink(idx uint32, marked bool) uint64 {
+	w := uint64(idx) << idxShift
+	if marked {
+		w |= markBit
+	}
+	return w
+}
+
+// Node is a handle to a skiplist node: the owning list plus the node's slab
+// location. It is a small value type (copied freely, usable as a map key);
+// the zero Node is the nil sentinel. Key and Value are immutable after
+// insertion. Calling methods on the zero Node panics, as dereferencing a
+// nil node pointer would.
 type Node struct {
-	Key     uint64
-	Value   uint64
-	claimed atomic.Bool
-	height  int32
-	next    [MaxHeight]atomic.Pointer[ref]
+	l   *List
+	s   *slab
+	off uint32
+	idx uint32
 }
 
-// ref is an immutable (successor, mark) pair; see the package comment.
-type ref struct {
-	node   *Node
-	marked bool
-}
+// IsNil reports whether n is the nil sentinel (the zero Node).
+func (n Node) IsNil() bool { return n.idx == 0 }
 
-// interned unmarked ref to nil, used to initialise towers cheaply.
-var nilRef = &ref{}
+// Index returns the node's arena word index: stable, unique, and never
+// reused for the lifetime of the list (the no-reuse rule the ABA argument
+// rests on). Index 0 is reserved for the nil sentinel.
+func (n Node) Index() uint32 { return n.idx }
+
+// Key returns the node's key.
+func (n Node) Key() uint64 { return n.s[n.off].Load() }
+
+// Value returns the node's value.
+func (n Node) Value() uint64 { return n.s[n.off+1].Load() }
+
+// word returns the tower word at the given level. Callers must not pass
+// level >= Height(): towers are truncated, so the word past the tower
+// belongs to the next node in the slab.
+func (n Node) word(level int) *atomic.Uint64 {
+	return &n.s[n.off+2+uint32(level)]
+}
 
 // Height returns the tower height of the node (1..MaxHeight).
-func (n *Node) Height() int { return int(n.height) }
+func (n Node) Height() int { return int(n.word(0).Load() >> heightShift & heightMask) }
 
 // Next returns the successor and mark of n at the given level.
-func (n *Node) Next(level int) (succ *Node, marked bool) {
-	r := n.next[level].Load()
-	return r.node, r.marked
+func (n Node) Next(level int) (succ Node, marked bool) {
+	w := n.word(level).Load()
+	return n.l.node(uint32(w >> idxShift & idxMask)), w&markBit != 0
 }
 
-// Ref is an opaque snapshot of a forward pointer. A CAS that passes a Ref
-// succeeds only if the pointer cell is physically unchanged since the Ref
-// was loaded (reference cells are never reused, so there is no ABA): this
-// gives callers validated link updates, which the Lindén-Jonsson insert
-// path relies on to splice in front of a dead prefix without re-scanning.
-type Ref struct{ r *ref }
+// Ref is a snapshot of a forward-pointer word. A CAS that passes a Ref
+// succeeds only if the word still holds exactly the snapshotted value.
+// Because slab words are never recycled and marks are never cleared, the
+// only way a stale snapshot can revalidate is benign value ABA: the word
+// again names the same immutable, still-unmarked successor, which is
+// indistinguishable from the snapshot being fresh (the classic Harris
+// argument for tagged-pointer CASes under no-reuse reclamation). This gives
+// callers validated link updates, which the Lindén-Jonsson insert path
+// relies on to splice in front of a dead prefix without re-scanning.
+type Ref struct {
+	l *List
+	w uint64
+}
 
 // LoadRef atomically snapshots n's forward pointer at level.
-func (n *Node) LoadRef(level int) Ref { return Ref{n.next[level].Load()} }
+func (n Node) LoadRef(level int) Ref { return Ref{l: n.l, w: n.word(level).Load()} }
 
 // Node returns the successor recorded in the snapshot.
-func (r Ref) Node() *Node { return r.r.node }
+func (r Ref) Node() Node { return r.l.node(uint32(r.w >> idxShift & idxMask)) }
 
 // Marked reports the mark recorded in the snapshot.
-func (r Ref) Marked() bool { return r.r.marked }
+func (r Ref) Marked() bool { return r.w&markBit != 0 }
 
 // CASRef replaces n's forward pointer at level with (succ, marked), provided
-// it is still exactly the snapshot old.
-func (n *Node) CASRef(level int, old Ref, succ *Node, marked bool) bool {
-	return n.next[level].CompareAndSwap(old.r, &ref{node: succ, marked: marked})
+// the word is still exactly the snapshot old. Non-link bits (height, claim)
+// are validated along with the link: a concurrent claim makes the snapshot
+// stale, which callers handle as an ordinary lost CAS.
+func (n Node) CASRef(level int, old Ref, succ Node, marked bool) bool {
+	return n.word(level).CompareAndSwap(old.w, old.w&^linkMask|packLink(succ.idx, marked))
 }
 
 // SetNext unconditionally stores (succ, marked) into n's forward pointer at
 // level. Only valid while n is thread-private (during node construction).
-func (n *Node) SetNext(level int, succ *Node, marked bool) {
-	n.next[level].Store(&ref{node: succ, marked: marked})
-}
-
-// NewNode allocates an unlinked node with the given tower height for queue
-// algorithms that perform their own linking (Lindén-Jonsson insert).
-func NewNode(key, value uint64, height int) *Node {
-	n := &Node{Key: key, Value: value, height: int32(height)}
-	for i := range n.next {
-		n.next[i].Store(nilRef)
-	}
-	return n
+func (n Node) SetNext(level int, succ Node, marked bool) {
+	w := n.word(level)
+	w.Store(w.Load()&^linkMask | packLink(succ.idx, marked))
 }
 
 // CASNext replaces n's forward pointer at level from (oldSucc, oldMarked) to
-// (newSucc, newMarked). It is the raw CAS used by the queue algorithms.
-func (n *Node) CASNext(level int, oldSucc *Node, oldMarked bool, newSucc *Node, newMarked bool) bool {
-	old := n.next[level].Load()
-	if old.node != oldSucc || old.marked != oldMarked {
-		return false
+// (newSucc, newMarked). It is the raw CAS used by the queue algorithms; it
+// validates the link bits only, retrying internally if a concurrent claim
+// flips a non-link bit between load and CAS.
+func (n Node) CASNext(level int, oldSucc Node, oldMarked bool, newSucc Node, newMarked bool) bool {
+	w := n.word(level)
+	oldLink := packLink(oldSucc.idx, oldMarked)
+	newLink := packLink(newSucc.idx, newMarked)
+	for {
+		old := w.Load()
+		if old&linkMask != oldLink {
+			return false
+		}
+		if w.CompareAndSwap(old, old&^linkMask|newLink) {
+			return true
+		}
 	}
-	return n.next[level].CompareAndSwap(old, &ref{node: newSucc, marked: newMarked})
 }
 
 // TryMarkNext marks n's forward pointer at level, expecting successor succ.
 // Marking level 0 logically deletes the node in the Lindén-Jonsson scheme.
-func (n *Node) TryMarkNext(level int, succ *Node) bool {
+func (n Node) TryMarkNext(level int, succ Node) bool {
 	return n.CASNext(level, succ, false, succ, true)
 }
 
 // MarkTower marks every level of n's tower top-down (idempotent). After
 // MarkTower returns, no new node can ever be linked after n, so traversals
 // can safely unlink it at every level.
-func (n *Node) MarkTower() {
-	for level := int(n.height) - 1; level >= 0; level-- {
+func (n Node) MarkTower() {
+	for level := n.Height() - 1; level >= 0; level-- {
+		w := n.word(level)
 		for {
-			r := n.next[level].Load()
-			if r.marked {
+			old := w.Load()
+			if old&markBit != 0 {
 				break
 			}
-			if n.next[level].CompareAndSwap(r, &ref{node: r.node, marked: true}) {
+			if w.CompareAndSwap(old, old|markBit) {
 				break
 			}
 		}
 	}
 }
 
-// TryClaim atomically claims the node for logical deletion. Only one caller
-// ever wins the claim of a given node.
-func (n *Node) TryClaim() bool { return n.claimed.CompareAndSwap(false, true) }
+// TryClaim atomically claims the node for logical deletion (the claim bit
+// in the level-0 word). Only one caller ever wins the claim of a given node.
+func (n Node) TryClaim() bool {
+	w := n.word(0)
+	for {
+		old := w.Load()
+		if old&claimedBit != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|claimedBit) {
+			return true
+		}
+	}
+}
 
 // IsClaimed reports whether the node has been logically deleted via claim.
-func (n *Node) IsClaimed() bool { return n.claimed.Load() }
+func (n Node) IsClaimed() bool { return n.word(0).Load()&claimedBit != 0 }
 
 // DeletedAt0 reports whether the node's level-0 forward pointer is marked,
 // i.e. the node is logically deleted in the Lindén-Jonsson sense.
-func (n *Node) DeletedAt0() bool {
-	return n.next[0].Load().marked
-}
+func (n Node) DeletedAt0() bool { return n.word(0).Load()&markBit != 0 }
 
-// List is a lock-free skiplist multiset.
+// List is a lock-free skiplist multiset backed by a private word arena.
 type List struct {
-	head *Node
+	slabs    []atomic.Pointer[slab]
+	nextSlab atomic.Uint32
+	head     Node
+	mu       sync.Mutex // guards seed, the convenience allocator
+	seed     Handle
 }
 
-// New returns an empty list.
+// New returns an empty list. The head sentinel takes index 1 (index 0 is
+// the nil sentinel).
 func New() *List {
-	h := &Node{height: MaxHeight}
-	for i := range h.next {
-		h.next[i].Store(nilRef)
-	}
-	return &List{head: h}
+	l := &List{slabs: make([]atomic.Pointer[slab], maxSlabs)}
+	l.seed = Handle{l: l, off: slabWords}
+	l.head = l.seed.NewNode(0, 0, MaxHeight)
+	return l
 }
 
 // Head returns the head sentinel. Its key is meaningless and it is never
 // deleted; queue algorithms start their scans from it.
-func (l *List) Head() *Node { return l.head }
+func (l *List) Head() Node { return l.head }
+
+// node resolves an arena index to a Node handle; index 0 is the nil Node.
+func (l *List) node(idx uint32) Node {
+	if idx == 0 {
+		return Node{}
+	}
+	return Node{l: l, s: l.slabs[idx>>slabShift].Load(), off: idx & slabMask, idx: idx}
+}
+
+// Handle is a per-goroutine bump allocator over the list's arena. Each
+// handle owns the slab it is currently filling, so allocation is a pointer
+// bump with no synchronization; grabbing a fresh slab (one 64 KiB
+// allocation per ~2000 average-height nodes) is the only allocating step,
+// which is what keeps Insert at <=1 alloc/op amortized.
+type Handle struct {
+	l    *List
+	s    *slab
+	base uint32
+	off  uint32
+}
+
+// NewHandle returns a fresh allocator handle for one goroutine.
+func (l *List) NewHandle() *Handle { return &Handle{l: l, off: slabWords} }
+
+// NewNode allocates an unlinked node with the given tower height for queue
+// algorithms that perform their own linking (Lindén-Jonsson insert). The
+// tower is born (nil, unmarked, unclaimed) — slab words are never reused,
+// so the fresh slab's zero words are already the correct initial state.
+func (h *Handle) NewNode(key, value uint64, height int) Node {
+	need := uint32(2 + height)
+	if h.off+need > slabWords {
+		h.refill()
+	}
+	off := h.off
+	h.off += need
+	s := h.s
+	s[off].Store(key)
+	s[off+1].Store(value)
+	s[off+2].Store(uint64(height) << heightShift)
+	return Node{l: h.l, s: s, off: off, idx: h.base + off}
+}
+
+// refill grabs the next whole slab for this handle. The tail of the
+// previous slab is abandoned (bounded waste per handle, never per op).
+func (h *Handle) refill() {
+	j := h.l.nextSlab.Add(1) - 1
+	if j >= maxSlabs {
+		panic("skiplist: arena exhausted (2^27 words per list); this list has outlived its design envelope")
+	}
+	s := new(slab)
+	h.l.slabs[j].Store(s)
+	h.s = s
+	h.base = j << slabShift
+	h.off = 0
+	if j == 0 {
+		h.off = 1 // index 0 is the nil sentinel; never hand it out
+	}
+}
+
+// Insert links a new node allocated from this handle; see List.Insert for
+// the linking contract.
+func (h *Handle) Insert(key, value uint64, height int) Node {
+	n := h.NewNode(key, value, height)
+	h.l.link(n, key, height)
+	return n
+}
 
 // RandomHeight draws a tower height from the geometric(1/2) distribution
 // capped at MaxHeight, using the caller's generator.
@@ -181,13 +339,13 @@ func RandomHeight(r *rng.Xoroshiro) int {
 // node following it. Marked nodes encountered on the way are helped out of
 // the list (Harris-Michael physical deletion). The arrays must have length
 // MaxHeight.
-func (l *List) Find(key uint64, preds, succs *[MaxHeight]*Node) {
+func (l *List) Find(key uint64, preds, succs *[MaxHeight]Node) {
 retry:
 	for {
 		pred := l.head
 		for level := MaxHeight - 1; level >= 0; level-- {
 			curr, _ := pred.Next(level)
-			for curr != nil {
+			for !curr.IsNil() {
 				succ, marked := curr.Next(level)
 				for marked {
 					// curr is deleted at this level: unlink it.
@@ -195,12 +353,12 @@ retry:
 						continue retry
 					}
 					curr = succ
-					if curr == nil {
+					if curr.IsNil() {
 						break
 					}
 					succ, marked = curr.Next(level)
 				}
-				if curr == nil || curr.Key >= key {
+				if curr.IsNil() || curr.Key() >= key {
 					break
 				}
 				pred = curr
@@ -217,18 +375,18 @@ retry:
 // them. The Lindén-Jonsson delete path uses it so that logical deletions do
 // not immediately trigger physical restructuring (the batching that gives
 // that queue its low memory contention).
-func (l *List) FindNoHelp(key uint64, preds, succs *[MaxHeight]*Node) {
+func (l *List) FindNoHelp(key uint64, preds, succs *[MaxHeight]Node) {
 	pred := l.head
 	for level := MaxHeight - 1; level >= 0; level-- {
 		curr, _ := pred.Next(level)
-		for curr != nil {
+		for !curr.IsNil() {
 			succ, marked := curr.Next(level)
 			if marked {
 				// Skip over the logically deleted node without helping.
 				curr = succ
 				continue
 			}
-			if curr.Key >= key {
+			if curr.Key() >= key {
 				break
 			}
 			pred = curr
@@ -243,22 +401,31 @@ func (l *List) FindNoHelp(key uint64, preds, succs *[MaxHeight]*Node) {
 // returns it. Duplicate keys are allowed; the new node is placed before the
 // first existing node with an equal or larger key at level 0.
 //
-// The structure is the standard lock-free skiplist add (Fraser;
-// Herlihy & Shavit): link level 0 first (the linearization point), then
-// raise the tower level by level, refreshing the window with Find after a
-// failed CAS and abandoning the raise if the node is deleted concurrently.
-func (l *List) Insert(key, value uint64, height int) *Node {
-	n := &Node{Key: key, Value: value, height: int32(height)}
-	var preds, succs [MaxHeight]*Node
+// Allocation goes through the list's internal mutex-guarded handle, so
+// Insert is safe to call from multiple goroutines; the linking itself is
+// lock-free. Hot paths should allocate through a per-goroutine Handle
+// instead and pay no lock at all.
+func (l *List) Insert(key, value uint64, height int) Node {
+	l.mu.Lock()
+	n := l.seed.NewNode(key, value, height)
+	l.mu.Unlock()
+	l.link(n, key, height)
+	return n
+}
+
+// link splices an allocated node into the list. The structure is the
+// standard lock-free skiplist add (Fraser; Herlihy & Shavit): link level 0
+// first (the linearization point), then raise the tower level by level,
+// refreshing the window with Find after a failed CAS and abandoning the
+// raise if the node is deleted concurrently.
+func (l *List) link(n Node, key uint64, height int) {
+	var preds, succs [MaxHeight]Node
 	for {
 		l.Find(key, &preds, &succs)
 		// Prepare the whole tower, then link the bottom level; a successful
 		// bottom-level CAS makes the node logically present.
 		for i := 0; i < height; i++ {
-			n.next[i].Store(&ref{node: succs[i]})
-		}
-		for i := height; i < MaxHeight; i++ {
-			n.next[i].Store(nilRef)
+			n.SetNext(i, succs[i], false)
 		}
 		if preds[0].CASNext(0, succs[0], false, n, false) {
 			break
@@ -268,13 +435,13 @@ func (l *List) Insert(key, value uint64, height int) *Node {
 	// findable through level 0, it just has a shorter effective tower.
 	for level := 1; level < height; level++ {
 		for {
-			r := n.next[level].Load()
-			if r.marked {
-				return n // node was deleted while being raised
+			r := n.LoadRef(level)
+			if r.Marked() {
+				return // node was deleted while being raised
 			}
-			if r.node != succs[level] {
-				if !n.next[level].CompareAndSwap(r, &ref{node: succs[level]}) {
-					return n // became marked meanwhile
+			if r.Node() != succs[level] {
+				if !n.CASRef(level, r, succs[level], false) {
+					return // became marked meanwhile
 				}
 			}
 			if preds[level].CASNext(level, succs[level], false, n, false) {
@@ -283,28 +450,28 @@ func (l *List) Insert(key, value uint64, height int) *Node {
 			l.Find(key, &preds, &succs)
 		}
 	}
-	return n
 }
 
 // Unlink physically removes a node whose tower has been fully marked
 // (MarkTower must have been called). It is implemented as a Find for the
 // node's key, which performs the actual unlinking as helping.
-func (l *List) Unlink(n *Node) {
-	var preds, succs [MaxHeight]*Node
-	l.Find(n.Key, &preds, &succs)
+func (l *List) Unlink(n Node) {
+	var preds, succs [MaxHeight]Node
+	l.Find(n.Key(), &preds, &succs)
 }
 
 // FirstLive returns the first node at level 0 that is neither claimed nor
-// marked at level 0, or nil. Used by tests and by strict delete-min scans.
-func (l *List) FirstLive() *Node {
+// marked at level 0, or the nil Node. Used by tests and by strict
+// delete-min scans.
+func (l *List) FirstLive() Node {
 	curr, _ := l.head.Next(0)
-	for curr != nil {
+	for !curr.IsNil() {
 		if !curr.IsClaimed() && !curr.DeletedAt0() {
 			return curr
 		}
 		curr, _ = curr.Next(0)
 	}
-	return nil
+	return Node{}
 }
 
 // CountLive walks level 0 and counts nodes that are neither claimed nor
@@ -312,7 +479,7 @@ func (l *List) FirstLive() *Node {
 func (l *List) CountLive() int {
 	n := 0
 	curr, _ := l.head.Next(0)
-	for curr != nil {
+	for !curr.IsNil() {
 		if !curr.IsClaimed() && !curr.DeletedAt0() {
 			n++
 		}
@@ -325,10 +492,10 @@ func (l *List) CountLive() int {
 // O(n); for tests and draining.
 func (l *List) CollectLive() (keys, values []uint64) {
 	curr, _ := l.head.Next(0)
-	for curr != nil {
+	for !curr.IsNil() {
 		if !curr.IsClaimed() && !curr.DeletedAt0() {
-			keys = append(keys, curr.Key)
-			values = append(values, curr.Value)
+			keys = append(keys, curr.Key())
+			values = append(values, curr.Value())
 		}
 		curr, _ = curr.Next(0)
 	}

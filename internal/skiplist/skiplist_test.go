@@ -9,19 +9,19 @@ import (
 	"cpq/internal/rng"
 )
 
-func insertKey(l *List, r *rng.Xoroshiro, key uint64) *Node {
+func insertKey(l *List, r *rng.Xoroshiro, key uint64) Node {
 	return l.Insert(key, key, RandomHeight(r))
 }
 
 func TestEmptyList(t *testing.T) {
 	l := New()
-	if l.FirstLive() != nil {
+	if !l.FirstLive().IsNil() {
 		t.Fatal("empty list has a live node")
 	}
 	if l.CountLive() != 0 {
 		t.Fatal("empty list CountLive != 0")
 	}
-	if n, _ := l.Head().Next(0); n != nil {
+	if n, _ := l.Head().Next(0); !n.IsNil() {
 		t.Fatal("head.next != nil on empty list")
 	}
 }
@@ -78,11 +78,11 @@ func TestLevelOrderInvariant(t *testing.T) {
 		prev := uint64(0)
 		first := true
 		curr, _ := l.Head().Next(level)
-		for curr != nil {
-			if !first && curr.Key < prev {
-				t.Fatalf("level %d out of order: %d after %d", level, curr.Key, prev)
+		for !curr.IsNil() {
+			if !first && curr.Key() < prev {
+				t.Fatalf("level %d out of order: %d after %d", level, curr.Key(), prev)
 			}
-			prev, first = curr.Key, false
+			prev, first = curr.Key(), false
 			curr, _ = curr.Next(level)
 		}
 	}
@@ -96,16 +96,16 @@ func TestTowersReachable(t *testing.T) {
 		insertKey(l, r, r.Uint64()%100)
 	}
 	for level := 1; level < MaxHeight; level++ {
-		below := map[*Node]bool{}
+		below := map[Node]bool{}
 		c, _ := l.Head().Next(level - 1)
-		for c != nil {
+		for !c.IsNil() {
 			below[c] = true
 			c, _ = c.Next(level - 1)
 		}
 		c, _ = l.Head().Next(level)
-		for c != nil {
+		for !c.IsNil() {
 			if !below[c] {
-				t.Fatalf("node %d present at level %d but not %d", c.Key, level, level-1)
+				t.Fatalf("node %d present at level %d but not %d", c.Key(), level, level-1)
 			}
 			c, _ = c.Next(level)
 		}
@@ -118,25 +118,25 @@ func TestFindWindow(t *testing.T) {
 	for _, k := range []uint64{10, 20, 30, 40} {
 		insertKey(l, r, k)
 	}
-	var preds, succs [MaxHeight]*Node
+	var preds, succs [MaxHeight]Node
 	l.Find(25, &preds, &succs)
-	if preds[0].Key != 20 {
-		t.Fatalf("pred key = %d, want 20", preds[0].Key)
+	if preds[0].Key() != 20 {
+		t.Fatalf("pred key = %d, want 20", preds[0].Key())
 	}
-	if succs[0] == nil || succs[0].Key != 30 {
+	if succs[0].IsNil() || succs[0].Key() != 30 {
 		t.Fatal("succ should be 30")
 	}
 	// Exact key: succ is the first node with that key.
 	l.Find(30, &preds, &succs)
-	if succs[0] == nil || succs[0].Key != 30 {
+	if succs[0].IsNil() || succs[0].Key() != 30 {
 		t.Fatal("Find(30) succ should be the 30 node")
 	}
-	if preds[0].Key != 20 {
-		t.Fatalf("Find(30) pred = %d, want 20", preds[0].Key)
+	if preds[0].Key() != 20 {
+		t.Fatalf("Find(30) pred = %d, want 20", preds[0].Key())
 	}
 	// Key beyond the end.
 	l.Find(100, &preds, &succs)
-	if succs[0] != nil {
+	if !succs[0].IsNil() {
 		t.Fatal("Find past end should have nil succ")
 	}
 	// Key before the start: pred must be the head sentinel.
@@ -190,7 +190,7 @@ func TestMarkTowerFreezesNode(t *testing.T) {
 	}
 	// CAS on a marked pointer must fail.
 	succ, _ := n.Next(0)
-	if n.CASNext(0, succ, false, nil, false) {
+	if n.CASNext(0, succ, false, Node{}, false) {
 		t.Fatal("CAS succeeded on marked pointer")
 	}
 	// Unlink removes it physically.
@@ -209,7 +209,7 @@ func TestMarkTowerFreezesNode(t *testing.T) {
 func TestFindHelpsUnlinkPrefix(t *testing.T) {
 	l := New()
 	r := rng.New(8)
-	var nodes []*Node
+	var nodes []Node
 	for _, k := range []uint64{1, 2, 3, 4, 5} {
 		nodes = append(nodes, insertKey(l, r, k))
 	}
@@ -220,16 +220,16 @@ func TestFindHelpsUnlinkPrefix(t *testing.T) {
 	for _, n := range nodes[:3] {
 		n.MarkTower()
 	}
-	var preds, succs [MaxHeight]*Node
+	var preds, succs [MaxHeight]Node
 	l.Find(1, &preds, &succs)
 	first, _ := l.Head().Next(0)
-	if first == nil || first.Key != 4 {
+	if first.IsNil() || first.Key() != 4 {
 		t.Fatalf("first node after helping = %+v, want key 4", first)
 	}
 	// All levels of head must now bypass the marked nodes.
 	for level := 0; level < MaxHeight; level++ {
-		if n, _ := l.Head().Next(level); n != nil && n.Key < 4 {
-			t.Fatalf("level %d still points at marked node %d", level, n.Key)
+		if n, _ := l.Head().Next(level); !n.IsNil() && n.Key() < 4 {
+			t.Fatalf("level %d still points at marked node %d", level, n.Key())
 		}
 	}
 }
@@ -240,9 +240,9 @@ func TestFindNoHelpSkipsWithoutUnlinking(t *testing.T) {
 	a := insertKey(l, r, 1)
 	insertKey(l, r, 2)
 	a.MarkTower()
-	var preds, succs [MaxHeight]*Node
+	var preds, succs [MaxHeight]Node
 	l.FindNoHelp(2, &preds, &succs)
-	if succs[0] == nil || succs[0].Key != 2 {
+	if succs[0].IsNil() || succs[0].Key() != 2 {
 		t.Fatal("FindNoHelp did not find live node past marked one")
 	}
 	// The marked node must still be physically linked.
@@ -271,6 +271,8 @@ func TestDeletedAt0(t *testing.T) {
 }
 
 func TestConcurrentInsertNoLostNodes(t *testing.T) {
+	// Each worker allocates through its own arena handle — the real
+	// concurrent-insert path of the queue algorithms.
 	l := New()
 	const workers = 8
 	const perWorker = 3000
@@ -279,9 +281,11 @@ func TestConcurrentInsertNoLostNodes(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			h := l.NewHandle()
 			r := rng.New(uint64(w) + 100)
 			for i := 0; i < perWorker; i++ {
-				insertKey(l, r, r.Uint64()%2048)
+				k := r.Uint64() % 2048
+				h.Insert(k, k, RandomHeight(r))
 			}
 		}(w)
 	}
@@ -311,10 +315,11 @@ func TestConcurrentInsertAndRemove(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			h := l.NewHandle()
 			r := rng.New(uint64(w) + 200)
 			for i := 0; i < perWorker; i++ {
 				k := r.Uint64() % 512
-				n := insertKey(l, r, k)
+				n := h.Insert(k, k, RandomHeight(r))
 				mu.Lock()
 				inserted[k]++
 				mu.Unlock()
@@ -366,9 +371,11 @@ func TestInsertPropertySortedAfterBatch(t *testing.T) {
 
 func BenchmarkInsert(b *testing.B) {
 	l := New()
+	h := l.NewHandle()
 	r := rng.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		insertKey(l, r, r.Uint64())
+		k := r.Uint64()
+		h.Insert(k, k, RandomHeight(r))
 	}
 }

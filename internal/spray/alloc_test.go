@@ -1,0 +1,48 @@
+package spray
+
+import (
+	"testing"
+
+	"cpq/internal/rng"
+)
+
+// Allocation-regression tests for the packed-word substrate (mirroring
+// internal/core/alloc_test.go): the spray walk, claim and unlink must be
+// allocation-free; Insert amortizes to the slab refill.
+
+func steadySpray() (*Queue, *Handle, *rng.Xoroshiro) {
+	q := New(4)
+	h := q.Handle().(*Handle)
+	r := rng.New(42)
+	for i := 0; i < 4096; i++ {
+		h.Insert(r.Uint64()&0xffff, 0)
+		h.DeleteMin()
+	}
+	return q, h, r
+}
+
+func TestSprayInsertAllocsAmortized(t *testing.T) {
+	_, h, r := steadySpray()
+	avg := testing.AllocsPerRun(2000, func() {
+		h.Insert(r.Uint64()&0xffff, 0)
+	})
+	if avg > 1.0 {
+		t.Errorf("spray Insert allocates %.3f allocs/op at steady state, want <= 1.0 (slab refills only)", avg)
+	}
+}
+
+func TestSprayDeleteMinZeroAllocs(t *testing.T) {
+	_, h, r := steadySpray()
+	const runs = 2000
+	for i := 0; i < runs+100; i++ {
+		h.Insert(r.Uint64()&0xffff, 0)
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		if _, _, ok := h.DeleteMin(); !ok {
+			t.Fatal("queue ran empty mid-measurement")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("spray DeleteMin allocates %.3f allocs/op at steady state, want 0", avg)
+	}
+}

@@ -114,14 +114,17 @@ func (q *Queue) Geometry() (height, maxJump int) { return q.height, q.maxJump }
 func (q *Queue) Handle() pq.Handle {
 	return &Handle{
 		q:   q,
+		sh:  q.list.NewHandle(),
 		rng: rng.New(q.seed.Add(0x9e3779b97f4a7c15)),
 		tel: telemetry.NewShard(),
 	}
 }
 
-// Handle is a per-goroutine handle carrying the spray RNG.
+// Handle is a per-goroutine handle carrying the spray RNG and the arena
+// allocator.
 type Handle struct {
 	q   *Queue
+	sh  *skiplist.Handle
 	rng *rng.Xoroshiro
 	tel *telemetry.Shard
 }
@@ -131,7 +134,7 @@ var _ pq.Peeker = (*Handle)(nil)
 
 // Insert implements pq.Handle.
 func (h *Handle) Insert(key, value uint64) {
-	h.q.list.Insert(key, value, skiplist.RandomHeight(h.rng))
+	h.sh.Insert(key, value, skiplist.RandomHeight(h.rng))
 }
 
 // DeleteMin implements pq.Handle. It sprays to a candidate, then walks
@@ -141,8 +144,8 @@ func (h *Handle) Insert(key, value uint64) {
 func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 	const sprayAttempts = 2
 	for attempt := 0; attempt < sprayAttempts; attempt++ {
-		if n := h.sprayOnce(); n != nil {
-			return n.Key, n.Value, true
+		if n := h.sprayOnce(); !n.IsNil() {
+			return n.Key(), n.Value(), true
 		}
 		h.tel.Inc(telemetry.SprayMiss)
 	}
@@ -155,11 +158,11 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 	// delete_min queue.
 	l := h.q.list
 	curr, _ := l.Head().Next(0)
-	for curr != nil {
+	for !curr.IsNil() {
 		if !curr.IsClaimed() && !curr.DeletedAt0() && curr.TryClaim() {
 			curr.MarkTower()
 			l.Unlink(curr)
-			return curr.Key, curr.Value, true
+			return curr.Key(), curr.Value(), true
 		}
 		curr, _ = curr.Next(0)
 	}
@@ -167,13 +170,13 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 }
 
 // sprayOnce performs one spray walk and tries to claim a node at or after
-// the landing point. Returns nil on a miss.
-func (h *Handle) sprayOnce() *skiplist.Node {
+// the landing point. Returns the nil Node on a miss.
+func (h *Handle) sprayOnce() skiplist.Node {
 	// Failpoint: a forced miss exercises the retry and fallback paths; a
 	// perturbation delays the walk so the landing region drains under it.
 	// Both happen before any node is claimed, so no item can be dropped.
 	if chaos.ShouldFail(chaos.SprayWalk) {
-		return nil
+		return skiplist.Node{}
 	}
 	chaos.Perturb(chaos.SprayWalk)
 	q := h.q
@@ -181,8 +184,8 @@ func (h *Handle) sprayOnce() *skiplist.Node {
 	level := q.height
 	for {
 		j := int(h.rng.Uintn(uint64(q.maxJump) + 1))
-		for ; j > 0 && curr != nil; j-- {
-			var next *skiplist.Node
+		for ; j > 0 && !curr.IsNil(); j-- {
+			var next skiplist.Node
 			if curr.Height() > level {
 				next, _ = curr.Next(level)
 			} else {
@@ -190,7 +193,7 @@ func (h *Handle) sprayOnce() *skiplist.Node {
 				// (possible right after descending); drop to its top level.
 				next, _ = curr.Next(curr.Height() - 1)
 			}
-			if next == nil {
+			if next.IsNil() {
 				break // clamp at the end of the level
 			}
 			curr = next
@@ -205,7 +208,7 @@ func (h *Handle) sprayOnce() *skiplist.Node {
 	}
 	// Claim the landing node or the first claimable node after it.
 	const scanLimit = 64
-	for i := 0; curr != nil && i < scanLimit; i++ {
+	for i := 0; !curr.IsNil() && i < scanLimit; i++ {
 		if curr != q.list.Head() && !curr.IsClaimed() && !curr.DeletedAt0() && curr.TryClaim() {
 			curr.MarkTower()
 			q.list.Unlink(curr)
@@ -213,16 +216,16 @@ func (h *Handle) sprayOnce() *skiplist.Node {
 		}
 		curr, _ = curr.Next(0)
 	}
-	return nil
+	return skiplist.Node{}
 }
 
 // PeekMin reports the first unclaimed node (exact, not sprayed).
 func (h *Handle) PeekMin() (key, value uint64, ok bool) {
 	n := h.q.list.FirstLive()
-	if n == nil {
+	if n.IsNil() {
 		return 0, 0, false
 	}
-	return n.Key, n.Value, true
+	return n.Key(), n.Value(), true
 }
 
 // Len counts live items. O(n); tests and draining only.

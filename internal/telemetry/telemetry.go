@@ -126,6 +126,25 @@ const (
 	// head scan after exhausting their spray attempts
 	// (spray/spray.go:DeleteMin).
 	SprayFallback
+	// LindenDeadWalk counts dead (level-0-marked) nodes walked over by the
+	// Lindén delete_min before it claimed a live node or hit the end
+	// (linden/linden.go:DeleteMin; one batched Add per call). Divided by
+	// DeleteMin count it yields the mean dead-prefix length, the quantity
+	// BoundOffset trades against restructure frequency.
+	LindenDeadWalk
+	// LindenRestructure counts batch physical unlinks of the dead prefix,
+	// triggered when a delete_min walks past BoundOffset dead nodes
+	// (linden/linden.go:restructure).
+	LindenRestructure
+	// LindenSpliceRetry counts failed validated level-0 splice CASes on the
+	// Lindén insert, each followed by a fresh find
+	// (linden/linden.go:Insert; one batched Add per call).
+	LindenSpliceRetry
+	// LotanClaimFail counts head-scan steps of the Shavit-Lotan delete_min
+	// that could not claim a node — already claimed, already dead, or a
+	// lost claim CAS (lotan/lotan.go:DeleteMin; one batched Add per call).
+	// This is the head-contention signal the Lindén batching avoids.
+	LotanClaimFail
 
 	// NumCounters bounds per-shard counter storage; not a counter itself.
 	NumCounters
@@ -151,6 +170,10 @@ var counterMeta = [NumCounters]struct{ name, help string }{
 	MQSweep:           {"mq-sweep", "full sub-queue sweeps (emptiness oracle)"},
 	SprayMiss:         {"spray-miss", "spray walks that found no claimable node"},
 	SprayFallback:     {"spray-fallback", "DeleteMins that fell back to the strict head scan"},
+	LindenDeadWalk:    {"linden-dead-walk", "dead prefix nodes walked over by delete_min"},
+	LindenRestructure: {"linden-restructure", "batch physical unlinks of the dead prefix"},
+	LindenSpliceRetry: {"linden-splice-retry", "lost validated level-0 splice CASes on insert"},
+	LotanClaimFail:    {"lotan-claim-fail", "head-scan steps that could not claim a node"},
 }
 
 // Name returns the counter's short table identifier, e.g. "slsm-republish".

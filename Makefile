@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist check chaos repro verify profile examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist bench-grid check chaos repro verify profile examples clean
 
 all: build vet test
 
@@ -23,24 +23,30 @@ race:
 # engineered MultiQueue's buffer stealing, the k-LSM's pooled hot path with
 # spy/run-buffer stealing, the packed-word skiplist substrate and its
 # lock-free queues, the quality replay, and the chaos checker) under the
-# race detector, plus a short-budget chaos pass over the whole registry.
+# race detector, plus a short-budget chaos pass over the whole registry
+# (scalar and batch widths) and a smoke run of the batch-width grid.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/core/ ./internal/multiq/ ./internal/skiplist/ ./internal/linden/ ./internal/spray/ ./internal/quality/ ./internal/chaos/
+	$(GO) test -race ./internal/core/ ./internal/multiq/ ./internal/skiplist/ ./internal/linden/ ./internal/spray/ ./internal/lotan/ ./internal/quality/ ./internal/chaos/
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500
+	$(GO) run -race ./cmd/pqverify -chaos -ops 1500 -batch 8
+	$(GO) run ./cmd/pqgrid -smoke > /dev/null
 
 # Fault-injection stress pass: every registry queue under seeded schedule
 # perturbations and forced CAS/try-lock failures, with item-conservation,
 # emptiness-oracle, Flusher-contract and relaxation-bound checking (see
 # DESIGN.md §6). A failure prints a replay line; rerun it verbatim to
 # reproduce the same injected decision sequence.
-#   make chaos                # default budget
-#   make chaos CHAOS_OPS=50000 CHAOS_THREADS=8
+#   make chaos                # default budget (batch width 8, see CHAOS_BATCH)
+#   make chaos CHAOS_OPS=50000 CHAOS_THREADS=8 CHAOS_BATCH=1
+# CHAOS_BATCH > 1 interleaves batch (InsertN/DeleteMinN) and scalar calls
+# on every worker, stressing the batch hot paths of DESIGN.md §4c.
 CHAOS_OPS     ?= 10000
 CHAOS_THREADS ?= 4
+CHAOS_BATCH   ?= 8
 chaos:
-	$(GO) run -race ./cmd/pqverify -chaos -ops $(CHAOS_OPS) -threads $(CHAOS_THREADS)
+	$(GO) run -race ./cmd/pqverify -chaos -ops $(CHAOS_OPS) -threads $(CHAOS_THREADS) -batch $(CHAOS_BATCH)
 
 # The engineered-MultiQueue acceptance bench (seed multiq vs. multiq-s4-b8
 # vs. klsm4096 at 8 threads); benchstat-comparable output.
@@ -59,6 +65,12 @@ bench-klsm:
 # allocs/op via -benchmem.
 bench-skiplist:
 	$(GO) test -bench='^BenchmarkSkiplistPQ$$|^BenchmarkLindenInsertDeleteMin$$' -benchmem -benchtime=1s -count=3 .
+
+# The batch-width comparison grid (DESIGN.md §4c): fig-4a t8 for a queue
+# cross-section at widths {1,8}, reps interleaved across widths, emitted as
+# BENCH_6.json (MOps/s ±CI, allocs/op, git SHA, GOMAXPROCS).
+bench-grid:
+	$(GO) run ./cmd/pqgrid
 
 # Every paper figure/table as a testing.B bench, fixed op count for speed.
 bench-quick:

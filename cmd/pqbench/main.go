@@ -19,6 +19,10 @@
 //	pqbench -queues engineered -threads 8
 //	pqbench -queues klsm -threads 8
 //
+// With -batch N the workers issue their operations through the batch API
+// (InsertN/DeleteMinN, DESIGN.md §4c) in groups of N; MOps/s stays
+// comparable across widths because a batch of N counts as N operations.
+//
 // The defaults use a short duration and few repetitions so a full sweep
 // stays laptop-friendly; the paper's setup corresponds to -duration 10s
 // -reps 10 -prefill 1000000.
@@ -52,7 +56,8 @@ func main() {
 		prefill   = flag.Int("prefill", harness.DefaultPrefill, "prefill size (paper: 1000000)")
 		seed      = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
 		pin       = flag.Bool("pin", false, "lock worker goroutines to OS threads")
-		batch     = flag.Int("batch", 1, "operation batch size for the alternating workload (Appendix F)")
+		batch     = flag.Int("batch", 1, "operation batch width: route inserts/deletes through InsertN/DeleteMinN in batches of this size (1 = scalar; see DESIGN.md §4c)")
+		altBatch  = flag.Int("altbatch", 1, "phase length for the alternating workload (Appendix F); formerly -batch")
 		opsMode   = flag.Int("ops", 0, "latency mode: run this many ops per thread instead of a fixed duration")
 		machine   = flag.String("machine", "localhost", "machine label; the paper's hosts (mars, saturn, ceres, pluto) preset the thread sweep of their figures")
 		csvOut    = flag.Bool("csv", false, "emit CSV (threads,queue,mops,ci) instead of a table")
@@ -87,9 +92,14 @@ func main() {
 		queueNames = cli.ExpandQueues(cli.ParseList(*queuesF))
 	}
 	cli.ValidateQueues("pqbench", queueNames) // validate before burning benchmark time
+	cli.ValidateBatch("pqbench", *batch)
+	cli.ValidateBatch("pqbench", *altBatch)
 
 	header := fmt.Sprintf("# machine=%s workload=%s keys=%s prefill=%d duration=%v reps=%d",
 		*machine, wl, kd, *prefill, *duration, *reps)
+	if *batch > 1 {
+		header += fmt.Sprintf(" batch=%d", *batch)
+	}
 	if cellID != "" {
 		header = fmt.Sprintf("# figure %s  %s", cellID, header[2:])
 	}
@@ -124,7 +134,8 @@ func main() {
 				Workload:  wl,
 				KeyDist:   kd,
 				Prefill:   *prefill,
-				BatchSize: *batch,
+				BatchSize: *altBatch,
+				OpBatch:   *batch,
 				Seed:      *seed,
 				Pin:       *pin,
 			}

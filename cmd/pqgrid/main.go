@@ -1,0 +1,210 @@
+// Command pqgrid runs the batch-width comparison grid of DESIGN.md §4c and
+// emits one JSON document (BENCH_6.json in the repo root) recording, per
+// (queue, batch-width) cell, throughput in MOps/s with a 95% CI and
+// whole-run allocations per operation. The grid is the paper's fig-4a cell
+// (uniform workload, uniform 32-bit keys) at a fixed thread count, crossed
+// with the scalar path (width 1) and the batch path (width N).
+//
+// Repetitions are interleaved across widths — rep 1 of every cell runs
+// before rep 2 of any cell — so a width-8-vs-width-1 speedup compares runs
+// from the same commit under the same machine conditions, not two
+// back-to-back blocks.
+//
+//	pqgrid                      # full grid -> BENCH_6.json
+//	pqgrid -smoke               # tiny budget, stdout only (used by `make check`)
+//	pqgrid -widths 1,4,8,16 -queues linden,multiq
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"cpq"
+	"cpq/internal/cli"
+	"cpq/internal/harness"
+	"cpq/internal/keys"
+	"cpq/internal/pq"
+	"cpq/internal/stats"
+	"cpq/internal/workload"
+)
+
+// cellResult is one (queue, width) cell of the emitted grid.
+type cellResult struct {
+	Queue       string  `json:"queue"`
+	BatchWidth  int     `json:"batch_width"`
+	MOpsMean    float64 `json:"mops_mean"`
+	MOpsCI95    float64 `json:"mops_ci95"`
+	AllocsPerOp float64 `json:"allocs_per_op"` // whole-run mallocs (incl. prefill) / completed ops
+	Ops         uint64  `json:"ops"`           // completed ops summed over reps
+}
+
+// report is the emitted JSON document.
+type report struct {
+	GitSHA     string       `json:"git_sha"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Figure     string       `json:"figure"` // benchmark cell, fig-4a configuration
+	Threads    int          `json:"threads"`
+	Prefill    int          `json:"prefill"`
+	Duration   string       `json:"duration"`
+	Reps       int          `json:"reps"`
+	Generated  string       `json:"generated"` // RFC 3339
+	Cells      []cellResult `json:"cells"`
+	// Speedup maps queue -> width -> mops(width)/mops(1) for quick reading;
+	// only present when width 1 is part of the grid.
+	Speedup map[string]map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	var (
+		queuesF  = flag.String("queues", "globallock,multiq,multiq-s4-b8,klsm4096,linden", "queues to grid")
+		widthsF  = flag.String("widths", "1,8", "batch widths to cross with the queue list (1 = scalar path)")
+		threadsF = flag.Int("threads", 8, "worker goroutines (fig-4a t8 column)")
+		duration = flag.Duration("duration", time.Second, "measurement duration per rep")
+		reps     = flag.Int("reps", 3, "repetitions per cell (interleaved across widths)")
+		prefill  = flag.Int("prefill", 100_000, "prefill size (default matches bench_test.go's fig-4a cells; paper scale: 1000000)")
+		seed     = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
+		out      = flag.String("out", "BENCH_6.json", "output file (empty = stdout)")
+		smoke    = flag.Bool("smoke", false, "CI smoke: tiny budget, one rep, stdout only")
+	)
+	flag.Parse()
+
+	if *smoke {
+		*duration, *reps, *prefill, *out = 30*time.Millisecond, 1, 2000, ""
+	}
+	queueNames := cli.ExpandQueues(cli.ParseList(*queuesF))
+	cli.ValidateQueues("pqgrid", queueNames)
+	widths, err := cli.ParseThreads(*widthsF) // same "positive int list" grammar
+	exitOn(err)
+	for _, w := range widths {
+		cli.ValidateBatch("pqgrid", w)
+	}
+
+	type cellKey struct {
+		queue string
+		width int
+	}
+	mops := map[cellKey][]float64{}
+	allocs := map[cellKey][]float64{}
+	ops := map[cellKey]uint64{}
+
+	// Interleave: complete one rep of EVERY cell before starting the next
+	// rep, so cross-width comparisons are same-conditions.
+	for rep := 0; rep < *reps; rep++ {
+		for _, name := range queueNames {
+			for _, w := range widths {
+				name, w := name, w
+				cfg := harness.Config{
+					NewQueue: func(t int) pq.Queue {
+						q, err := cpq.NewQueue(name, cpq.Options{Threads: t})
+						exitOn(err)
+						return q
+					},
+					Threads:  *threadsF,
+					Duration: *duration,
+					Workload: workload.Uniform,
+					KeyDist:  keys.Uniform32,
+					Prefill:  *prefill,
+					OpBatch:  w,
+					Seed:     *seed + uint64(rep), // fresh streams per rep, same across cells
+				}
+				var m0, m1 runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&m0)
+				res := harness.Run(cfg)
+				runtime.ReadMemStats(&m1)
+				k := cellKey{name, w}
+				mops[k] = append(mops[k], res.MOps())
+				if res.Ops > 0 {
+					allocs[k] = append(allocs[k], float64(m1.Mallocs-m0.Mallocs)/float64(res.Ops))
+				}
+				ops[k] += res.Ops
+				fmt.Fprintf(os.Stderr, "pqgrid: rep %d/%d %s width=%d: %.3f MOps/s\n",
+					rep+1, *reps, name, w, res.MOps())
+			}
+		}
+	}
+
+	rep := report{
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Figure:     "4a",
+		Threads:    *threadsF,
+		Prefill:    *prefill,
+		Duration:   duration.String(),
+		Reps:       *reps,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	base := map[string]float64{} // queue -> width-1 mean
+	for _, name := range queueNames {
+		for _, w := range widths {
+			k := cellKey{name, w}
+			s := stats.Summarize(mops[k])
+			var a float64
+			if as := allocs[k]; len(as) > 0 {
+				a = stats.Mean(as)
+			}
+			rep.Cells = append(rep.Cells, cellResult{
+				Queue: name, BatchWidth: w,
+				MOpsMean: round3(s.Mean), MOpsCI95: round3(s.CI95),
+				AllocsPerOp: round3(a), Ops: ops[k],
+			})
+			if w == 1 {
+				base[name] = s.Mean
+			}
+		}
+	}
+	if len(base) > 0 {
+		rep.Speedup = map[string]map[string]float64{}
+		for _, c := range rep.Cells {
+			if c.BatchWidth == 1 || base[c.Queue] <= 0 {
+				continue
+			}
+			if rep.Speedup[c.Queue] == nil {
+				rep.Speedup[c.Queue] = map[string]float64{}
+			}
+			rep.Speedup[c.Queue][fmt.Sprintf("w%d", c.BatchWidth)] =
+				round3(c.MOpsMean / base[c.Queue])
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	exitOn(err)
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	exitOn(os.WriteFile(*out, buf, 0o644))
+	fmt.Fprintf(os.Stderr, "pqgrid: wrote %s\n", *out)
+}
+
+// gitSHA best-effort resolves the working tree's commit; "unknown" outside
+// a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func round3(x float64) float64 {
+	return float64(int64(x*1000+0.5)) / 1000
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pqgrid:", err)
+		os.Exit(1)
+	}
+}

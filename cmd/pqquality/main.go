@@ -30,6 +30,7 @@ func main() {
 		threadsF  = flag.String("threads", "2,4,8", "comma-separated thread counts (paper: 2,4,8)")
 		ops       = flag.Int("ops", 50_000, "operations per thread in the measured phase")
 		prefill   = flag.Int("prefill", 100_000, "prefill size (quality runs replay the whole log; keep moderate)")
+		batch     = flag.Int("batch", 1, "operation batch width: route operations through InsertN/DeleteMinN (1 = scalar; see DESIGN.md §4c)")
 		seed      = flag.Uint64("seed", 0, "base RNG seed (0 = default)")
 		machine   = flag.String("machine", "localhost", "machine label for the output header")
 		markdown  = flag.Bool("markdown", false, "emit a markdown table instead of plain text")
@@ -57,9 +58,10 @@ func main() {
 		queueNames = cli.ExpandQueues(cli.ParseList(*queuesF))
 	}
 	cli.ValidateQueues("pqquality", queueNames)
+	cli.ValidateBatch("pqquality", *batch)
 
-	fmt.Printf("# machine=%s workload=%s keys=%s prefill=%d ops/thread=%d\n",
-		*machine, wl, kd, *prefill, *ops)
+	fmt.Printf("# machine=%s workload=%s keys=%s prefill=%d ops/thread=%d batch=%d\n",
+		*machine, wl, kd, *prefill, *ops, *batch)
 
 	var out cli.Table
 	header := []string{"queue"}
@@ -82,6 +84,7 @@ func main() {
 				Workload:     wl,
 				KeyDist:      kd,
 				Prefill:      *prefill,
+				OpBatch:      *batch,
 				Seed:         *seed,
 			})
 			row = append(row, fmt.Sprintf("%.1f (%.1f)", res.MeanRank, res.StddevRank))

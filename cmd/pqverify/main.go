@@ -53,6 +53,7 @@ func main() {
 		slack     = flag.Int("slack", -1, "rank slack for in-flight concurrent ops (-1 = default)")
 		seed      = flag.Uint64("seed", 0, "RNG seed (chaos: replays a failing run's injection)")
 		chaosF    = flag.Bool("chaos", false, "run the fault-injection stress harness instead of the plain rank check")
+		batch     = flag.Int("batch", 1, "operation batch width: route operations through InsertN/DeleteMinN (chaos interleaves batch and scalar calls; see DESIGN.md §4c)")
 	)
 	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
@@ -68,9 +69,10 @@ func main() {
 		names = cli.ParseList(*queuesF)
 	}
 	cli.ValidateQueues("pqverify", names)
+	cli.ValidateBatch("pqverify", *batch)
 
 	if *chaosF {
-		if runChaos(names, *threadsF, *ops, *seed, *slack, *tolerance) {
+		if runChaos(names, *threadsF, *ops, *seed, *slack, *tolerance, *batch) {
 			stopProf() // flush profiles: os.Exit skips deferred calls
 			os.Exit(1)
 		}
@@ -95,6 +97,7 @@ func main() {
 			Workload:     workload.Uniform,
 			KeyDist:      keys.Uniform32,
 			Prefill:      *prefill,
+			OpBatch:      *batch,
 			Seed:         *seed,
 		})
 		// The benchmark adds a prefill handle beyond the workers, so the
@@ -129,8 +132,11 @@ func main() {
 
 // runChaos stress-tests every named queue under fault injection and reports
 // per-queue verdicts; it returns true if any invariant was violated.
-func runChaos(names []string, threads, ops int, seed uint64, slack int, tolerance float64) (failed bool) {
+func runChaos(names []string, threads, ops int, seed uint64, slack int, tolerance float64, batch int) (failed bool) {
 	fmt.Printf("chaos: threads=%d ops/thread=%d", threads, ops)
+	if batch > 1 {
+		fmt.Printf(" batch=%d", batch)
+	}
 	if seed != 0 {
 		fmt.Printf(" seed=%#x (replay)", seed)
 	}
@@ -152,12 +158,17 @@ func runChaos(names []string, threads, ops int, seed uint64, slack int, toleranc
 			Seed:         seed,
 			Slack:        slack,
 			Tolerance:    tolerance,
+			OpBatch:      batch,
 		})
 		fmt.Println(res)
 		if res.Failed() {
 			failed = true
-			fmt.Printf("    replay: pqverify -chaos -queues %s -threads %d -ops %d -seed %#x\n",
-				name, threads, ops, res.Seed)
+			batchArg := ""
+			if batch > 1 {
+				batchArg = fmt.Sprintf(" -batch %d", batch)
+			}
+			fmt.Printf("    replay: pqverify -chaos -queues %s -threads %d -ops %d%s -seed %#x\n",
+				name, threads, ops, batchArg, res.Seed)
 		}
 	}
 	if failed {

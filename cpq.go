@@ -14,6 +14,13 @@
 //	h.Insert(13, 37)
 //	key, value, ok := h.DeleteMin()
 //
+// The batch helpers InsertN and DeleteMinN move several pairs per call,
+// taking each structure's native batch-first path where it has one and
+// falling back to a scalar loop otherwise (DESIGN.md §4c):
+//
+//	cpq.InsertN(h, kvs)                  // one synchronization episode
+//	got := cpq.DeleteMinN(h, dst, len(dst))
+//
 // # Implementations
 //
 //   - NewKLSM: the k-LSM relaxed queue (lock-free, linearizable; DeleteMin
@@ -62,6 +69,10 @@ type Handle = pq.Handle
 
 // Item is a key-value pair.
 type Item = pq.Item
+
+// KV is the element type of the batch API (InsertN, DeleteMinN); it is an
+// alias of Item.
+type KV = pq.KV
 
 // NewKLSM returns a k-LSM relaxed priority queue with relaxation parameter
 // k. DeleteMin returns one of the kP smallest items, where P is the number
@@ -259,6 +270,22 @@ func Flush(h Handle) { pq.Flush(h) }
 // the structure at hand. ok is false for non-peekable (or nil) v, and the
 // result is approximate under concurrency.
 func PeekMin(v any) (key, value uint64, ok bool) { return pq.PeekMin(v) }
+
+// InsertN inserts every element of kvs through h in one call, using the
+// handle's native batch path where the structure has one (one lock
+// acquisition, one CAS publish, one predecessor search shared across the
+// batch — see DESIGN.md §4c) and a scalar Insert loop otherwise. kvs is
+// caller-owned; a native path may reorder it in place (typically sorting
+// by key) but never retains it.
+func InsertN(h Handle, kvs []KV) { pq.InsertN(h, kvs) }
+
+// DeleteMinN removes up to n items through h into a prefix of dst and
+// returns how many were removed (n is clamped to len(dst)). Each removed
+// item individually satisfies the queue's relaxation bound — a batch is n
+// delete-mins sharing their synchronization, not a weaker contract. A
+// return short of n means the queue appeared empty to the handle
+// mid-batch. Handles without a native path fall back to a DeleteMin loop.
+func DeleteMinN(h Handle, dst []KV, n int) int { return pq.DeleteMinN(h, dst, n) }
 
 // parseMultiQSpec parses the dash-separated parameter list of an engineered
 // MultiQueue identifier, e.g. "s4-b8" or "c8-s4-b8" (from "multiq-s4-b8",

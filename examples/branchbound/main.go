@@ -84,24 +84,35 @@ func solve(items []problemItem, q cpq.Queue) (best uint64, explored uint64) {
 	pending.Add(1)
 	seed.Insert(maxBound-upperBound(items, root), encode(root))
 
+	// Each worker expands a batch of frontier nodes per DeleteMinN call and
+	// publishes all surviving children with one InsertN (the batch-first API,
+	// DESIGN.md §4c): the queue's synchronization is paid once per batch of
+	// subproblems instead of once per node.
+	const expandBatch = 8
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			h := q.Handle()
+			ext := make([]cpq.KV, expandBatch)
+			out := make([]cpq.KV, 0, 2*expandBatch)
 			for {
-				prio, enc, ok := h.DeleteMin()
-				if !ok {
+				got := cpq.DeleteMinN(h, ext, expandBatch)
+				if got == 0 {
 					if pending.Load() == 0 {
 						return
 					}
 					continue
 				}
-				n := decode(enc)
-				exploredCtr.Add(1)
-				bound := maxBound - prio
-				if bound > incumbent.Load() && n.idx < len(items) {
+				out = out[:0]
+				for j := 0; j < got; j++ {
+					n := decode(ext[j].Value)
+					exploredCtr.Add(1)
+					bound := maxBound - ext[j].Key
+					if bound <= incumbent.Load() || n.idx >= len(items) {
+						continue
+					}
 					// Branch: skip item idx, or take it if it fits.
 					for _, child := range []node{
 						{idx: n.idx + 1, weight: n.weight, value: n.value},
@@ -119,12 +130,15 @@ func solve(items []problemItem, q cpq.Queue) (best uint64, explored uint64) {
 							}
 						}
 						if ub := upperBound(items, child); ub > incumbent.Load() && child.idx < len(items) {
-							pending.Add(1)
-							h.Insert(maxBound-ub, encode(child))
+							out = append(out, cpq.KV{Key: maxBound - ub, Value: encode(child)})
 						}
 					}
 				}
-				pending.Add(-1)
+				if len(out) > 0 {
+					pending.Add(int64(len(out)))
+					cpq.InsertN(h, out)
+				}
+				pending.Add(int64(-got))
 			}
 		}()
 	}

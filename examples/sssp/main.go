@@ -75,11 +75,18 @@ func sequentialDijkstra(g *graph, src int) []uint64 {
 	return dist
 }
 
+// settleBatch is how many nodes a worker extracts per DeleteMinN call; the
+// relaxed edges they produce are re-inserted with one InsertN. Batching
+// amortizes the queue's synchronization over several settled nodes — the
+// batch-first API of DESIGN.md §4c — at the price of slightly more stale
+// extractions (the nodes of one batch are settled against a snapshot).
+const settleBatch = 8
+
 // parallelSSSP runs Dijkstra with lazy deletion over a concurrent queue.
 // dist entries are updated by CAS. Termination uses an exact pending-work
 // counter: it is incremented BEFORE every insert and decremented after the
 // extracted entry has been fully processed, so pending == 0 together with
-// an empty DeleteMin means no work exists anywhere in the system.
+// an empty DeleteMinN means no work exists anywhere in the system.
 func parallelSSSP(g *graph, src, workers int, q cpq.Queue) (dist []atomic.Uint64, wasted uint64) {
 	n := len(g.adj)
 	dist = make([]atomic.Uint64, n)
@@ -99,18 +106,23 @@ func parallelSSSP(g *graph, src, workers int, q cpq.Queue) (dist []atomic.Uint64
 		go func() {
 			defer wg.Done()
 			h := q.Handle()
+			ext := make([]cpq.KV, settleBatch)
+			out := make([]cpq.KV, 0, 4*settleBatch)
 			for {
-				d, uRaw, ok := h.DeleteMin()
-				if !ok {
+				got := cpq.DeleteMinN(h, ext, settleBatch)
+				if got == 0 {
 					if pending.Load() == 0 {
 						return
 					}
 					continue // a peer is still relaxing; its inserts will show up
 				}
-				u := int(uRaw)
-				if d > dist[u].Load() {
-					wastedCtr.Add(1) // stale: a shorter path was settled
-				} else {
+				out = out[:0]
+				for j := 0; j < got; j++ {
+					d, u := ext[j].Key, int(ext[j].Value)
+					if d > dist[u].Load() {
+						wastedCtr.Add(1) // stale: a shorter path was settled
+						continue
+					}
 					for _, e := range g.adj[u] {
 						nd := d + uint64(e.w)
 						for {
@@ -119,14 +131,17 @@ func parallelSSSP(g *graph, src, workers int, q cpq.Queue) (dist []atomic.Uint64
 								break
 							}
 							if dist[e.to].CompareAndSwap(cur, nd) {
-								pending.Add(1)
-								h.Insert(nd, uint64(e.to))
+								out = append(out, cpq.KV{Key: nd, Value: uint64(e.to)})
 								break
 							}
 						}
 					}
 				}
-				pending.Add(-1)
+				if len(out) > 0 {
+					pending.Add(int64(len(out)))
+					cpq.InsertN(h, out)
+				}
+				pending.Add(int64(-got))
 			}
 		}()
 	}

@@ -107,6 +107,13 @@ const (
 	// failure abandons the restructure, leaving the dead prefix for a
 	// later call — the same outcome as losing every unlink CAS to helpers.
 	LindenRestructure
+	// BatchPublish is the k-LSM InsertN eviction publish — the single SLSM
+	// CAS that makes a whole insert batch shared (core/klsm.go:InsertN via
+	// slsm.insertBatchFP). Perturbed between the state load and the CAS; a
+	// forced failure loses the publish mid-batch and redoes the merge, so
+	// the checker can verify no batch item is dropped or doubled across the
+	// retry.
+	BatchPublish
 
 	// NumFailpoints bounds per-failpoint state; not a failpoint itself.
 	NumFailpoints
@@ -125,6 +132,7 @@ var fpNames = [NumFailpoints]string{
 	SprayFallback:     "spray-fallback",
 	LindenSplice:      "linden-splice",
 	LindenRestructure: "linden-restructure",
+	BatchPublish:      "batch-publish",
 }
 
 // String returns the failpoint's short identifier, e.g. "slsm-publish".

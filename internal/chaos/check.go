@@ -33,6 +33,13 @@ type CheckConfig struct {
 	// Prefill items are inserted (and logged) before the workers start
 	// (default 2·OpsPerThread, so deletes mostly find items).
 	Prefill int
+	// OpBatch, when >= 2, makes workers interleave batch and scalar
+	// operations: every other call is an InsertN/DeleteMinN of this width
+	// (logged quality-style under one shared stamp per batch), the rest are
+	// ordinary Insert/DeleteMin. The interleaving stresses exactly the
+	// hand-off the batch paths share with the scalar ones — run buffers,
+	// insertion buffers, claim flags — under fault injection.
+	OpBatch int
 	// Abandon is how many workers stop mid-phase — at half their budget,
 	// without flushing — leaving items in their insertion/deletion/run
 	// buffers (default 1 when Threads > 1). The post-phase Flush must make
@@ -194,21 +201,70 @@ func Check(cfg CheckConfig) CheckResult {
 			}
 			local := make([]quality.Event, 0, budget)
 			<-start
-			for i := 0; i < budget; i++ {
-				if policy.Next() == workload.Insert {
-					k := gen.Next()
-					id := nextID.Add(1)
-					// Stamp BEFORE the insert takes effect.
-					local = append(local, quality.Event{Seq: seq.Add(1), ID: id, Key: k})
-					h.Insert(k, id)
-				} else {
-					k, id, ok := h.DeleteMin()
-					if ok {
-						gen.Observe(k)
-						// Stamp AFTER the delete returned.
-						local = append(local, quality.Event{Seq: seq.Add(1), ID: id, Key: k, Del: true})
+			if cfg.OpBatch > 1 {
+				b := cfg.OpBatch
+				kvs := make([]pq.KV, b)
+				for i, call := 0, 0; i < budget; call++ {
+					batch := call%2 == 0 // interleave batch and scalar calls
+					isInsert := policy.Next() == workload.Insert
+					switch {
+					case isInsert && batch:
+						// One stamp BEFORE the call for the whole batch.
+						s := seq.Add(1)
+						for j := range kvs {
+							k := gen.Next()
+							id := nextID.Add(1)
+							kvs[j] = pq.KV{Key: k, Value: id}
+							local = append(local, quality.Event{Seq: s, ID: id, Key: k})
+						}
+						pq.InsertN(h, kvs)
+						i += b
+					case isInsert:
+						k := gen.Next()
+						id := nextID.Add(1)
+						local = append(local, quality.Event{Seq: seq.Add(1), ID: id, Key: k})
+						h.Insert(k, id)
+						i++
+					case batch:
+						got := pq.DeleteMinN(h, kvs, b)
+						// One stamp AFTER the call for everything it removed.
+						s := seq.Add(1)
+						for j := 0; j < got; j++ {
+							gen.Observe(kvs[j].Key)
+							local = append(local, quality.Event{Seq: s, ID: kvs[j].Value, Key: kvs[j].Key, Del: true})
+						}
+						if got == 0 {
+							emptyDels.Add(1)
+						}
+						i += b
+					default:
+						k, id, ok := h.DeleteMin()
+						if ok {
+							gen.Observe(k)
+							local = append(local, quality.Event{Seq: seq.Add(1), ID: id, Key: k, Del: true})
+						} else {
+							emptyDels.Add(1)
+						}
+						i++
+					}
+				}
+			} else {
+				for i := 0; i < budget; i++ {
+					if policy.Next() == workload.Insert {
+						k := gen.Next()
+						id := nextID.Add(1)
+						// Stamp BEFORE the insert takes effect.
+						local = append(local, quality.Event{Seq: seq.Add(1), ID: id, Key: k})
+						h.Insert(k, id)
 					} else {
-						emptyDels.Add(1)
+						k, id, ok := h.DeleteMin()
+						if ok {
+							gen.Observe(k)
+							// Stamp AFTER the delete returned.
+							local = append(local, quality.Event{Seq: seq.Add(1), ID: id, Key: k, Del: true})
+						} else {
+							emptyDels.Add(1)
+						}
 					}
 				}
 			}
@@ -277,7 +333,9 @@ func Check(cfg CheckConfig) CheckResult {
 	for _, l := range logs {
 		events = append(events, l...)
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	// Stable: batch calls log several events under one shared stamp, whose
+	// relative (append) order the replay must preserve.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
 	res.accountItems(events, totalInserted)
 
 	res.Quality = quality.Replay(events)

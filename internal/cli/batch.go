@@ -1,0 +1,24 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+)
+
+// MaxBatch caps the -batch operation width accepted by the tools. The
+// limit is arbitrary but catches unit mistakes (a duration or key count
+// pasted into -batch) before a run allocates per-worker scratch of that
+// size.
+const MaxBatch = 1 << 16
+
+// ValidateBatch checks an operation batch width, exiting with status 2 on
+// an out-of-range value — the same up-front typed exit ValidateQueues uses
+// for queue names, so a bad flag is reported before any benchmark time is
+// burned. Width 1 means scalar operation; widths above 1 route the
+// workload through InsertN/DeleteMinN.
+func ValidateBatch(tool string, batch int) {
+	if batch < 1 || batch > MaxBatch {
+		fmt.Fprintf(os.Stderr, "%s: invalid -batch %d (want 1..%d)\n", tool, batch, MaxBatch)
+		os.Exit(2)
+	}
+}

@@ -366,6 +366,7 @@ type slsmHandle struct {
 	rng   *rng.Xoroshiro
 	alloc itemAlloc
 	tel   *telemetry.Shard
+	drain []*item // DeleteMinN scratch, reused across calls (never escapes)
 }
 
 // Insert implements pq.Handle: a single-item batch insert into the SLSM.

@@ -207,6 +207,15 @@ func carryPivots(cur *sstate, items []*item, k int) ([]*item, uint64) {
 // the caller afterwards. tel receives CASPublishRetry for every lost
 // publish race (nil is a valid sink).
 func (s *slsm) insertBatch(items []*item, tel *telemetry.Shard) {
+	s.insertBatchFP(items, tel, chaos.SLSMPublish)
+}
+
+// insertBatchFP is insertBatch with an explicit failpoint identity: the
+// scalar eviction path injects at SLSMPublish, the InsertN batch path at
+// BatchPublish, so chaos runs can force mid-batch CAS losses specifically
+// on whole-batch publishes. Both route a forced loss through the same
+// genuine retry (re-merge against the then-current state).
+func (s *slsm) insertBatchFP(items []*item, tel *telemetry.Shard, fp chaos.Failpoint) {
 	if len(items) == 0 {
 		return
 	}
@@ -222,8 +231,8 @@ func (s *slsm) insertBatch(items []*item, tel *telemetry.Shard) {
 		// Failpoint: widen the load→CAS window, and force the occasional
 		// publish to act as lost — the retry redoes the merge against the
 		// then-current state, exactly like a genuine conflict.
-		chaos.Perturb(chaos.SLSMPublish)
-		if !chaos.ShouldFail(chaos.SLSMPublish) && s.state.CompareAndSwap(cur, ns) {
+		chaos.Perturb(fp)
+		if !chaos.ShouldFail(fp) && s.state.CompareAndSwap(cur, ns) {
 			return
 		}
 		// Lost the publish race: back off, then redo the merge against the

@@ -48,6 +48,14 @@ type Config struct {
 	// (Appendix F's "operation batch size"; 0/1 = strict alternation,
 	// large values approximate the sorting benchmark).
 	BatchSize int
+	// OpBatch is the batch-first API width: with OpBatch >= 2 workers issue
+	// InsertN/DeleteMinN calls moving OpBatch items each (through the native
+	// batch paths where a queue has them, the generic scalar loop
+	// otherwise — counted by the batch-fallback telemetry counter). 0/1 is
+	// the scalar mode. An operation is still one item moved: a batch call
+	// counts OpBatch ops, and the unserved tail of a short delete batch
+	// counts as empty deletes, so MOps/s stays comparable across widths.
+	OpBatch int
 	// Seed makes runs reproducible; 0 selects a fixed default.
 	Seed uint64
 	// Pin, when set, locks each worker goroutine to an OS thread for the
@@ -142,31 +150,79 @@ func Run(cfg Config) Result {
 			r := rng.New(cfg.Seed + uint64(w)*0x6a09e667f3bcc909)
 			gen := keys.NewGenerator(cfg.KeyDist, r)
 			policy := workload.ForWorkerBatched(cfg.Workload, w, cfg.Threads, cfg.InsertFrac, cfg.BatchSize, r)
-			<-start
 			var ops, empty uint64
-			for !stop.Load() {
-				sample := telemetry.Enabled && ops%latencySampleEvery == 0
-				var t0 time.Time
-				if sample {
-					t0 = time.Now()
-				}
-				if policy.Next() == workload.Insert {
-					h.Insert(gen.Next(), uint64(w))
+			if cfg.OpBatch > 1 {
+				b := cfg.OpBatch
+				kvs := make([]pq.KV, b)
+				_, nativeIns := h.(pq.BatchInserter)
+				_, nativeDel := h.(pq.BatchDeleter)
+				var calls, fallback uint64
+				<-start
+				for !stop.Load() {
+					// In batch mode the latency sample times one whole batch
+					// call (the synchronization episode the batch API is
+					// about), every latencySampleEvery-th call.
+					sample := telemetry.Enabled && calls%latencySampleEvery == 0
+					var t0 time.Time
 					if sample {
-						tel.ObserveInsert(time.Since(t0).Nanoseconds())
+						t0 = time.Now()
 					}
-				} else {
-					k, _, ok := h.DeleteMin()
-					if sample {
-						tel.ObserveDelete(time.Since(t0).Nanoseconds())
-					}
-					if ok {
-						gen.Observe(k) // feeds the strict hold-model distributions
+					if policy.Next() == workload.Insert {
+						for i := range kvs {
+							kvs[i] = pq.KV{Key: gen.Next(), Value: uint64(w)}
+						}
+						pq.InsertN(h, kvs)
+						if !nativeIns {
+							fallback++
+						}
+						if sample {
+							tel.ObserveInsert(time.Since(t0).Nanoseconds())
+						}
 					} else {
-						empty++
+						got := pq.DeleteMinN(h, kvs, b)
+						if !nativeDel {
+							fallback++
+						}
+						if sample {
+							tel.ObserveDelete(time.Since(t0).Nanoseconds())
+						}
+						for i := 0; i < got; i++ {
+							gen.Observe(kvs[i].Key)
+						}
+						empty += uint64(b - got)
 					}
+					ops += uint64(b)
+					calls++
 				}
-				ops++
+				if fallback > 0 {
+					tel.Add(telemetry.BatchFallback, fallback)
+				}
+			} else {
+				<-start
+				for !stop.Load() {
+					sample := telemetry.Enabled && ops%latencySampleEvery == 0
+					var t0 time.Time
+					if sample {
+						t0 = time.Now()
+					}
+					if policy.Next() == workload.Insert {
+						h.Insert(gen.Next(), uint64(w))
+						if sample {
+							tel.ObserveInsert(time.Since(t0).Nanoseconds())
+						}
+					} else {
+						k, _, ok := h.DeleteMin()
+						if sample {
+							tel.ObserveDelete(time.Since(t0).Nanoseconds())
+						}
+						if ok {
+							gen.Observe(k) // feeds the strict hold-model distributions
+						} else {
+							empty++
+						}
+					}
+					ops++
+				}
 			}
 			pq.Flush(h)
 			counters[w].ops = ops
@@ -244,34 +300,84 @@ func RunOps(cfg Config, opsPerThread int) Result {
 			gen := keys.NewGenerator(cfg.KeyDist, r)
 			policy := workload.ForWorkerBatched(cfg.Workload, w, cfg.Threads, cfg.InsertFrac, cfg.BatchSize, r)
 			local := make([]float64, 0, opsPerThread/latencySampleEvery+1)
-			<-start
-			var empty uint64
-			for i := 0; i < opsPerThread; i++ {
-				sample := i%latencySampleEvery == 0
-				var t0 time.Time
-				if sample {
-					t0 = time.Now()
-				}
-				isInsert := policy.Next() == workload.Insert
-				if isInsert {
-					h.Insert(gen.Next(), uint64(w))
-				} else if k, _, ok := h.DeleteMin(); ok {
-					gen.Observe(k)
-				} else {
-					empty++
-				}
-				if sample {
-					ns := time.Since(t0).Nanoseconds()
-					local = append(local, float64(ns))
+			var done, empty uint64
+			if cfg.OpBatch > 1 {
+				b := cfg.OpBatch
+				kvs := make([]pq.KV, b)
+				_, nativeIns := h.(pq.BatchInserter)
+				_, nativeDel := h.(pq.BatchDeleter)
+				var calls, fallback uint64
+				<-start
+				for done < uint64(opsPerThread) {
+					sample := calls%latencySampleEvery == 0
+					var t0 time.Time
+					if sample {
+						t0 = time.Now()
+					}
+					isInsert := policy.Next() == workload.Insert
 					if isInsert {
-						tel.ObserveInsert(ns)
+						for i := range kvs {
+							kvs[i] = pq.KV{Key: gen.Next(), Value: uint64(w)}
+						}
+						pq.InsertN(h, kvs)
+						if !nativeIns {
+							fallback++
+						}
 					} else {
-						tel.ObserveDelete(ns)
+						got := pq.DeleteMinN(h, kvs, b)
+						if !nativeDel {
+							fallback++
+						}
+						for i := 0; i < got; i++ {
+							gen.Observe(kvs[i].Key)
+						}
+						empty += uint64(b - got)
+					}
+					if sample {
+						ns := time.Since(t0).Nanoseconds()
+						local = append(local, float64(ns))
+						if isInsert {
+							tel.ObserveInsert(ns)
+						} else {
+							tel.ObserveDelete(ns)
+						}
+					}
+					done += uint64(b)
+					calls++
+				}
+				if fallback > 0 {
+					tel.Add(telemetry.BatchFallback, fallback)
+				}
+			} else {
+				<-start
+				for i := 0; i < opsPerThread; i++ {
+					sample := i%latencySampleEvery == 0
+					var t0 time.Time
+					if sample {
+						t0 = time.Now()
+					}
+					isInsert := policy.Next() == workload.Insert
+					if isInsert {
+						h.Insert(gen.Next(), uint64(w))
+					} else if k, _, ok := h.DeleteMin(); ok {
+						gen.Observe(k)
+					} else {
+						empty++
+					}
+					if sample {
+						ns := time.Since(t0).Nanoseconds()
+						local = append(local, float64(ns))
+						if isInsert {
+							tel.ObserveInsert(ns)
+						} else {
+							tel.ObserveDelete(ns)
+						}
 					}
 				}
+				done = uint64(opsPerThread)
 			}
 			pq.Flush(h)
-			counters[w].ops = uint64(opsPerThread)
+			counters[w].ops = done
 			counters[w].empty = empty
 			samples[w] = local
 		}(w)

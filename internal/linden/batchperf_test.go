@@ -1,0 +1,58 @@
+package linden
+
+import (
+	"testing"
+
+	"cpq/internal/pq"
+)
+
+// Single-threaded batch-vs-scalar microbenchmarks for the Lindén-Jonsson
+// queue: one iteration is 8 inserts + 8 delete-mins, issued either as 16
+// scalar calls or as one InsertN + one DeleteMinN pair. The batch path's
+// win comes from the finger-searched splices (findFrom) and the single
+// dead-prefix walk; compare with
+//
+//	go test -bench 'LindenMix' -benchmem ./internal/linden/
+
+const mixWidth = 8
+
+func prefillMix(h *Handle) uint64 {
+	r := uint64(12345)
+	for i := 0; i < 1000; i++ {
+		r = r*6364136223846793005 + 1
+		h.Insert(r>>32, 1)
+	}
+	return r
+}
+
+func BenchmarkLindenMixScalar(b *testing.B) {
+	q := New(0)
+	h := q.Handle().(*Handle)
+	r := prefillMix(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < mixWidth; j++ {
+			r = r*6364136223846793005 + 1
+			h.Insert(r>>32, 1)
+		}
+		for j := 0; j < mixWidth; j++ {
+			h.DeleteMin()
+		}
+	}
+}
+
+func BenchmarkLindenMixBatch(b *testing.B) {
+	q := New(0)
+	h := q.Handle().(*Handle)
+	r := prefillMix(h)
+	kvs := make([]pq.KV, mixWidth)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range kvs {
+			r = r*6364136223846793005 + 1
+			kvs[j] = pq.KV{Key: r >> 32, Value: 1}
+		}
+		h.InsertN(kvs)
+		h.DeleteMinN(kvs, mixWidth)
+	}
+}

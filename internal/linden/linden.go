@@ -89,14 +89,31 @@ var _ pq.Peeker = (*Handle)(nil)
 
 // Insert implements pq.Handle.
 func (h *Handle) Insert(key, value uint64) {
-	q := h.q
 	height := skiplist.RandomHeight(h.rng)
 	n := h.sh.NewNode(key, value, height)
 	var preds [skiplist.MaxHeight]skiplist.Node
 	var succRefs [skiplist.MaxHeight]skiplist.Ref
+	retries := h.q.spliceAndRaise(n, key, height, &preds, &succRefs, false)
+	if retries > 0 {
+		h.tel.Add(telemetry.LindenSpliceRetry, retries)
+	}
+}
+
+// spliceAndRaise links the already allocated node n (the body of Insert,
+// shared with InsertN). When seeded is true, preds holds a previous smaller
+// key's window and the search resumes from it via findFrom instead of
+// re-descending from the head. On return the arrays hold this key's window,
+// ready to seed the next ascending key; the number of lost splice CASes is
+// returned for the caller to register.
+func (q *Queue) spliceAndRaise(n skiplist.Node, key uint64, height int, preds *[skiplist.MaxHeight]skiplist.Node, succRefs *[skiplist.MaxHeight]skiplist.Ref, seeded bool) uint64 {
 	retries := uint64(0)
 	for {
-		q.find(key, &preds, &succRefs)
+		if seeded {
+			q.findFrom(key, preds, succRefs)
+		} else {
+			q.find(key, preds, succRefs)
+			seeded = true
+		}
 		// Level 0: validated splice after the last live node with a smaller
 		// key. succRefs[0] may point to a dead node; the new node simply
 		// takes over the chain, keeping dead nodes reachable until the next
@@ -113,14 +130,11 @@ func (h *Handle) Insert(key, value uint64) {
 		// Window changed (concurrent insert or the pred was deleted).
 		retries++
 	}
-	if retries > 0 {
-		h.tel.Add(telemetry.LindenSpliceRetry, retries)
-	}
 	// Raise the tower best-effort; the node is already logically present.
 	for level := 1; level < height; level++ {
 		for attempt := 0; ; attempt++ {
 			if r := n.LoadRef(level); r.Marked() {
-				return // node already deleted and frozen at this level
+				return retries // node already deleted and frozen at this level
 			}
 			if preds[level].CASRef(level, succRefs[level], n, false) {
 				break
@@ -128,14 +142,15 @@ func (h *Handle) Insert(key, value uint64) {
 			if attempt >= 4 {
 				// Give up on this and all higher levels: the node stays
 				// findable through level 0, just with a shorter tower.
-				return
+				return retries
 			}
-			q.find(key, &preds, &succRefs)
+			q.findFrom(key, preds, succRefs)
 			if r := n.LoadRef(level); !r.Marked() && r.Node() != succRefs[level].Node() {
 				n.SetNext(level, succRefs[level].Node(), false)
 			}
 		}
 	}
+	return retries
 }
 
 // find locates, at every level, the last node with key strictly smaller than
@@ -186,6 +201,62 @@ retry:
 			}
 		}
 		return
+	}
+}
+
+// findFrom is find seeded with a previously captured window (a finger
+// search): preds must hold, at every level, the nil Node (ignored) or a
+// node with key strictly smaller than key that was live when captured.
+// The search descends exactly like find — the predecessor found at level
+// L+1 carries down to level L — but at each level it fast-forwards to the
+// seed when the seed is ahead of the carried predecessor, still live, and
+// unmarked at that level. Ascending-sorted batch inserts pass the previous
+// key's window, turning the per-key cost from a full descent into a walk
+// proportional to the inter-key gap.
+//
+// The safety argument is the same validated-snapshot one find makes: every
+// returned succRef is loaded from its pred and checked unmarked before use
+// and before being stored, so a dead anchor (its level word marked — at
+// level 0 that is exactly logical deletion) triggers a full find rather
+// than ever handing the caller a marked snapshot whose CAS would resurrect
+// a consumed node.
+func (q *Queue) findFrom(key uint64, preds *[skiplist.MaxHeight]skiplist.Node, succRefs *[skiplist.MaxHeight]skiplist.Ref) {
+	head := q.list.Head()
+	pred := head
+	for level := skiplist.MaxHeight - 1; level >= 0; level-- {
+		if s := preds[level]; !s.IsNil() && s != head && !s.DeletedAt0() &&
+			(pred == head || s.Key() > pred.Key()) {
+			pred = s
+		}
+		predRef := pred.LoadRef(level)
+		if predRef.Marked() {
+			// The anchor died at this level; restart as an unseeded search.
+			q.find(key, preds, succRefs)
+			return
+		}
+		curr := predRef.Node()
+		for !curr.IsNil() {
+			if curr.DeletedAt0() || (level > 0 && currMarkedAt(curr, level)) {
+				// Dead (or frozen at this level): skip without helping.
+				next, _ := curr.Next(level)
+				curr = next
+				continue
+			}
+			if curr.Key() >= key {
+				break
+			}
+			pred = curr
+			predRef = pred.LoadRef(level)
+			if predRef.Marked() {
+				// pred was deleted under us; same restart rule as find, and
+				// the full find re-descends from the head.
+				q.find(key, preds, succRefs)
+				return
+			}
+			curr = predRef.Node()
+		}
+		preds[level] = pred
+		succRefs[level] = predRef
 	}
 }
 

@@ -1,0 +1,230 @@
+package multiq
+
+import (
+	"cpq/internal/chaos"
+	"cpq/internal/pq"
+	"cpq/internal/telemetry"
+)
+
+// Batch-first paths of the MultiQueue family (DESIGN.md §4c).
+//
+// A MultiQueue operation's cost is dominated by its sub-queue lock
+// acquisition (sampling, try-lock, cached-min maintenance). The batch
+// paths pay it once per batch: InsertN pushes the whole batch into one
+// sampled sub-queue under one lock — exactly the placement the engineered
+// variant's buffer flush already performs — and DeleteMinN pops batches
+// from the min-of-two choice. Relaxation-wise a batch behaves like the
+// engineered variant with buffer size = batch width, a trade the quality
+// harness measures rather than assumes away.
+
+// BatchPusher is implemented by sub-heaps that can push several items in
+// one call (seqheap.Heap does); the batch insert paths use it to amortize
+// the per-item interface dispatch.
+type BatchPusher interface {
+	PushN(its []pq.Item)
+}
+
+// pushAll pushes every element of kvs into sh.
+func pushAll(sh SubHeap, kvs []pq.KV) {
+	if bp, ok := sh.(BatchPusher); ok {
+		bp.PushN(kvs)
+		return
+	}
+	for _, kv := range kvs {
+		sh.Push(kv)
+	}
+}
+
+// popInto pops up to max items from sh in ascending order into a prefix
+// of dst (cap(dst) must be >= max) and returns how many were popped.
+func popInto(sh SubHeap, dst []pq.KV, max int) int {
+	if bp, ok := sh.(BatchPopper); ok {
+		return len(bp.PopN(dst[:0], max))
+	}
+	got := 0
+	for got < max {
+		it, ok := sh.Pop()
+		if !ok {
+			break
+		}
+		dst[got] = it
+		got++
+	}
+	return got
+}
+
+var _ pq.BatchInserter = (*Handle)(nil)
+var _ pq.BatchDeleter = (*Handle)(nil)
+
+// InsertN implements pq.BatchInserter: one try-lock acquisition publishes
+// the whole batch to a uniformly random sub-queue (bounded try-locks,
+// then a blocking Lock, as in the scalar insert).
+func (h *Handle) InsertN(kvs []pq.KV) {
+	n := len(kvs)
+	if n == 0 {
+		return
+	}
+	q := h.q
+	nq := uint64(len(q.qs))
+	for attempt := 0; attempt < insertTryLimit; attempt++ {
+		s := &q.qs[h.rng.Uintn(nq)]
+		// Failpoint: a forced try-lock failure redirects the whole batch to
+		// another sub-queue, like a genuinely contended lock.
+		if !chaos.ShouldFail(chaos.MQLock) && s.mu.TryLock() {
+			pushAll(s.heap, kvs)
+			s.updateMin()
+			s.mu.Unlock()
+			h.tel.Add(telemetry.BatchInsertItems, uint64(n))
+			h.tel.ObserveBatchWidth(n)
+			return
+		}
+	}
+	s := &q.qs[h.rng.Uintn(nq)]
+	chaos.Perturb(chaos.MQLock)
+	s.mu.Lock()
+	pushAll(s.heap, kvs)
+	s.updateMin()
+	s.mu.Unlock()
+	h.tel.Add(telemetry.BatchInsertItems, uint64(n))
+	h.tel.ObserveBatchWidth(n)
+}
+
+// DeleteMinN implements pq.BatchDeleter: each min-of-two sample that wins
+// its try-lock pops as much of the remaining batch as its sub-queue holds
+// under that one lock; the buffer-less sweep remains the emptiness oracle.
+func (h *Handle) DeleteMinN(dst []pq.KV, n int) int {
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	q := h.q
+	got := 0
+	for got < n {
+		progressed := false
+		for attempt := 0; attempt < 3*len(q.qs); attempt++ {
+			pick, min := q.sampleTwo(h.rng)
+			if min == emptyKey {
+				continue // both sampled queues look empty; resample
+			}
+			s := &q.qs[pick]
+			if chaos.ShouldFail(chaos.MQLock) || !s.mu.TryLock() {
+				continue
+			}
+			m := popInto(s.heap, dst[got:], n-got)
+			if m > 0 {
+				s.updateMin()
+			}
+			s.mu.Unlock()
+			if m > 0 {
+				got += m
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			k, v, ok := h.sweep()
+			if !ok {
+				break // queue appeared empty mid-batch
+			}
+			dst[got] = pq.KV{Key: k, Value: v}
+			got++
+		}
+	}
+	h.tel.Add(telemetry.BatchDeleteItems, uint64(got))
+	h.tel.ObserveBatchWidth(got)
+	return got
+}
+
+var _ pq.BatchInserter = (*EHandle)(nil)
+var _ pq.BatchDeleter = (*EHandle)(nil)
+
+// InsertN implements pq.BatchInserter. A batch at least as wide as the
+// insertion buffer skips the sorted buffer entirely: the pending buffer
+// and the batch are published together under one sub-queue lock (the
+// batch is one pre-made flush). Narrower batches fill the buffer under a
+// single h.mu round trip and flush only if it spills.
+func (h *EHandle) InsertN(kvs []pq.KV) {
+	n := len(kvs)
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	if n >= h.q.buf {
+		h.tel.Inc(telemetry.MQInsFlush)
+		// Failpoint: stall the flush while h.mu is held, so sweeps and
+		// steals from other handles pile up against the batch.
+		chaos.Perturb(chaos.MQFlush)
+		s := h.lockForInsert()
+		pushAll(s.heap, h.ins)
+		h.ins = h.ins[:0]
+		pushAll(s.heap, kvs)
+		s.updateMin()
+		s.mu.Unlock()
+	} else {
+		for _, kv := range kvs {
+			h.pushInsLocked(kv)
+		}
+		if len(h.ins) >= h.q.buf {
+			h.flushInsLocked()
+		}
+	}
+	h.mu.Unlock()
+	h.tel.Add(telemetry.BatchInsertItems, uint64(n))
+	h.tel.ObserveBatchWidth(n)
+}
+
+// DeleteMinN implements pq.BatchDeleter: the deletion buffer (with the
+// insertion buffer competing, as in the scalar path) serves the batch
+// under one h.mu acquisition, refilling with the remaining batch width so
+// one sub-queue lock feeds the rest of the batch. Stickiness governs the
+// refill targets exactly as in the scalar path.
+func (h *EHandle) DeleteMinN(dst []pq.KV, n int) int {
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	got := 0
+	h.mu.Lock()
+	for got < n {
+		if m := len(h.del); m > 0 {
+			if len(h.ins) > 0 && h.ins[0].Key < h.del[m-1].Key {
+				dst[got] = h.takeInsLocked()
+			} else {
+				dst[got] = h.del[m-1]
+				h.del = h.del[:m-1]
+			}
+			got++
+			continue
+		}
+		want := h.q.buf
+		if rest := n - got; rest > want {
+			want = rest
+		}
+		it, found := h.refillNLocked(want)
+		if found {
+			dst[got] = it
+			got++
+			continue
+		}
+		// Sampling found everything empty: consult the buffer-aware sweep,
+		// which must run without h.mu held (the registry includes h).
+		h.mu.Unlock()
+		k, v, ok := h.sweepBuffered()
+		if !ok {
+			h.tel.Add(telemetry.BatchDeleteItems, uint64(got))
+			h.tel.ObserveBatchWidth(got)
+			return got
+		}
+		dst[got] = pq.KV{Key: k, Value: v}
+		got++
+		h.mu.Lock()
+	}
+	h.mu.Unlock()
+	h.tel.Add(telemetry.BatchDeleteItems, uint64(got))
+	h.tel.ObserveBatchWidth(got)
+	return got
+}

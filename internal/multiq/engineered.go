@@ -222,6 +222,14 @@ func (h *EHandle) DeleteMin() (key, value uint64, ok bool) {
 // returns the smallest item obtained. The handle's own insertion buffer
 // competes as a deletion source. Requires h.mu held.
 func (h *EHandle) refillLocked() (pq.Item, bool) {
+	return h.refillNLocked(h.q.buf)
+}
+
+// refillNLocked is refillLocked with an explicit batch width: DeleteMinN
+// refills with the remaining batch size when that exceeds b, so one lock
+// acquisition feeds the whole batch. Stickiness is respected either way —
+// the width only changes how much one acquisition pops.
+func (h *EHandle) refillNLocked(want int) (pq.Item, bool) {
 	q := h.q
 	for attempt := 0; attempt < 3*len(q.qs); attempt++ {
 		pick, min := -1, uint64(emptyKey)
@@ -253,7 +261,7 @@ func (h *EHandle) refillLocked() (pq.Item, bool) {
 			continue
 		}
 		h.tel.Inc(telemetry.MQDelRefill)
-		h.del = popBatchDescending(s.heap, h.del[:0], q.buf)
+		h.del = popBatchDescending(s.heap, h.del[:0], want)
 		s.updateMin()
 		s.mu.Unlock()
 		if m := len(h.del); m > 0 {

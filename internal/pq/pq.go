@@ -8,6 +8,8 @@
 // that contract.
 package pq
 
+import "slices"
+
 // Item is a key-value pair stored in a priority queue. Smaller keys have
 // higher priority. The paper benchmarks integer keys; values are opaque
 // payloads carried alongside.
@@ -15,6 +17,11 @@ type Item struct {
 	Key   uint64
 	Value uint64
 }
+
+// KV is the element type of the batch API (InsertN/DeleteMinN). It is an
+// alias of Item: the batch calls move the same pairs, just several per
+// synchronization episode.
+type KV = Item
 
 // Handle is a per-goroutine access handle to a queue. Several of the
 // structures keep thread-local state (the k-LSM's distributed component,
@@ -65,6 +72,82 @@ func PeekMin(v any) (key, value uint64, ok bool) {
 		return p.PeekMin()
 	}
 	return 0, 0, false
+}
+
+// BatchInserter is implemented by handles with a native batch-insert path
+// that amortizes synchronization over the whole batch (one lock
+// acquisition, one CAS publish, one predecessor search reused across
+// sorted keys — see DESIGN.md §4c). The kvs slice is caller-owned: the
+// implementation may reorder it in place (typically sorting by key) but
+// must not retain it after the call returns.
+type BatchInserter interface {
+	InsertN(kvs []KV)
+}
+
+// BatchDeleter is implemented by handles with a native batch-delete path.
+// DeleteMinN removes up to n smallest-key items (n clamped to len(dst)),
+// stores them into a prefix of dst, and returns how many were removed.
+// Each removed item individually satisfies the queue's relaxation bound —
+// a batch is n delete_mins that share their synchronization, not a weaker
+// contract. dst is caller-owned and must not be retained.
+type BatchDeleter interface {
+	DeleteMinN(dst []KV, n int) int
+}
+
+// InsertN inserts every element of kvs through h, using the handle's
+// native batch path when it implements BatchInserter and a scalar
+// Insert loop otherwise. It is the capability-checked form of
+// BatchInserter, exactly as Flush is for Flusher. kvs may be reordered in
+// place by a native path; it is never retained.
+func InsertN(h Handle, kvs []KV) {
+	if b, ok := h.(BatchInserter); ok {
+		b.InsertN(kvs)
+		return
+	}
+	for _, kv := range kvs {
+		h.Insert(kv.Key, kv.Value)
+	}
+}
+
+// DeleteMinN removes up to n items through h into a prefix of dst and
+// returns how many were removed, using the handle's native batch path
+// when it implements BatchDeleter and a scalar DeleteMin loop otherwise.
+// n is clamped to len(dst). A return short of n means the queue appeared
+// empty to the handle mid-batch.
+func DeleteMinN(h Handle, dst []KV, n int) int {
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if b, ok := h.(BatchDeleter); ok {
+		return b.DeleteMinN(dst, n)
+	}
+	got := 0
+	for got < n {
+		k, v, ok := h.DeleteMin()
+		if !ok {
+			break
+		}
+		dst[got] = KV{Key: k, Value: v}
+		got++
+	}
+	return got
+}
+
+// SortKVs sorts a batch in place, ascending by key (stable order of values
+// is not guaranteed for equal keys). Native InsertN paths that splice
+// sorted runs call it on the caller-owned slice, which the BatchInserter
+// contract permits.
+func SortKVs(kvs []KV) {
+	slices.SortFunc(kvs, func(a, b KV) int {
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 // Flusher is implemented by handles that buffer operations locally (the

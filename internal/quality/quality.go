@@ -50,6 +50,14 @@ type Config struct {
 	InsertFrac float64
 	// BatchSize as in the throughput harness (Alternating workload only).
 	BatchSize int
+	// OpBatch as in the throughput harness: with OpBatch >= 2 the measured
+	// phase moves items through InsertN/DeleteMinN in batches of this width.
+	// A batch is logged as OpBatch ordinary events sharing ONE sequence
+	// stamp — the batch call is one synchronization episode, so its items
+	// are mutually concurrent in the reconstructed history (inserts stamped
+	// before the call takes effect, deletions after it returns, as in the
+	// scalar discipline). 0/1 is the scalar mode.
+	OpBatch int
 	// Seed for reproducibility (0 → fixed default).
 	Seed uint64
 }
@@ -133,19 +141,48 @@ func Run(cfg Config) Result {
 			policy := workload.ForWorkerBatched(cfg.Workload, w, cfg.Threads, cfg.InsertFrac, cfg.BatchSize, r)
 			local := make([]Event, 0, cfg.OpsPerThread)
 			<-start
-			for i := 0; i < cfg.OpsPerThread; i++ {
-				if policy.Next() == workload.Insert {
-					k := gen.Next()
-					id := nextID.Add(1)
-					// Stamp BEFORE the insert takes effect.
-					local = append(local, Event{Seq: seq.Add(1), ID: id, Key: k})
-					h.Insert(k, id)
-				} else {
-					k, id, ok := h.DeleteMin()
-					if ok {
-						gen.Observe(k)
-						// Stamp AFTER the delete returned.
-						local = append(local, Event{Seq: seq.Add(1), ID: id, Key: k, Del: true})
+			if cfg.OpBatch > 1 {
+				b := cfg.OpBatch
+				kvs := make([]pq.KV, b)
+				for i := 0; i < cfg.OpsPerThread; i += b {
+					if policy.Next() == workload.Insert {
+						// One stamp for the whole batch, taken BEFORE the call
+						// takes effect; the batch's items are mutually
+						// concurrent in the history.
+						s := seq.Add(1)
+						for j := range kvs {
+							k := gen.Next()
+							id := nextID.Add(1)
+							kvs[j] = pq.KV{Key: k, Value: id}
+							local = append(local, Event{Seq: s, ID: id, Key: k})
+						}
+						pq.InsertN(h, kvs)
+					} else {
+						got := pq.DeleteMinN(h, kvs, b)
+						// One stamp AFTER the call returned, shared by every
+						// item the batch removed.
+						s := seq.Add(1)
+						for j := 0; j < got; j++ {
+							gen.Observe(kvs[j].Key)
+							local = append(local, Event{Seq: s, ID: kvs[j].Value, Key: kvs[j].Key, Del: true})
+						}
+					}
+				}
+			} else {
+				for i := 0; i < cfg.OpsPerThread; i++ {
+					if policy.Next() == workload.Insert {
+						k := gen.Next()
+						id := nextID.Add(1)
+						// Stamp BEFORE the insert takes effect.
+						local = append(local, Event{Seq: seq.Add(1), ID: id, Key: k})
+						h.Insert(k, id)
+					} else {
+						k, id, ok := h.DeleteMin()
+						if ok {
+							gen.Observe(k)
+							// Stamp AFTER the delete returned.
+							local = append(local, Event{Seq: seq.Add(1), ID: id, Key: k, Del: true})
+						}
 					}
 				}
 			}
@@ -161,12 +198,15 @@ func Run(cfg Config) Result {
 	close(start)
 	wg.Wait()
 
-	// Merge into a single linear history ordered by stamp.
+	// Merge into a single linear history ordered by stamp. The sort must be
+	// stable: a batch call logs its items under one shared stamp, and their
+	// append order (insertion order, deletion order) is the order the replay
+	// should see them in.
 	all := prefillEvents
 	for _, l := range logs {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
 
 	return Replay(all)
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"cpq/internal/pq"
+	"cpq/internal/telemetry"
 )
 
 // Heap is a sequential binary min-heap over pq.Item ordered by Key.
@@ -61,6 +62,15 @@ func (h *Heap) Pop() (pq.Item, bool) {
 
 // Clear empties the heap, retaining capacity.
 func (h *Heap) Clear() { h.a = h.a[:0] }
+
+// PushN inserts every element of its (one sift-up per item; the win of the
+// batch APIs built on it is the single lock acquisition around the call,
+// not the heap arithmetic).
+func (h *Heap) PushN(its []pq.Item) {
+	for _, it := range its {
+		h.Push(it)
+	}
+}
 
 // PopN removes up to max smallest items, appending them to dst in ascending
 // key order, and returns the extended slice. The engineered MultiQueue uses
@@ -126,14 +136,20 @@ func (h *Heap) invariantOK() bool {
 type GlobalLock struct {
 	mu sync.Mutex
 	h  Heap
+	// tel is shared by every goroutine using the queue (the queue is its
+	// own handle); batch sites write it with one atomic Add per call, and
+	// the global mutex already serializes the operations around them.
+	tel *telemetry.Shard
 }
 
 var _ pq.Queue = (*GlobalLock)(nil)
 var _ pq.Handle = (*GlobalLock)(nil)
 var _ pq.Peeker = (*GlobalLock)(nil)
+var _ pq.BatchInserter = (*GlobalLock)(nil)
+var _ pq.BatchDeleter = (*GlobalLock)(nil)
 
 // NewGlobalLock returns an empty GlobalLock queue.
-func NewGlobalLock() *GlobalLock { return &GlobalLock{} }
+func NewGlobalLock() *GlobalLock { return &GlobalLock{tel: telemetry.NewShard()} }
 
 // Name implements pq.Queue.
 func (g *GlobalLock) Name() string { return "globallock" }
@@ -155,6 +171,38 @@ func (g *GlobalLock) DeleteMin() (key, value uint64, ok bool) {
 	it, ok := g.h.Pop()
 	g.mu.Unlock()
 	return it.Key, it.Value, ok
+}
+
+// InsertN implements pq.BatchInserter: the whole batch goes in under ONE
+// acquisition of the global lock — for this baseline the batch API removes
+// exactly the structure's bottleneck, so it shows the largest batching
+// speedup in the suite (DESIGN.md §4c).
+func (g *GlobalLock) InsertN(kvs []pq.KV) {
+	if len(kvs) == 0 {
+		return
+	}
+	g.mu.Lock()
+	g.h.PushN(kvs)
+	g.mu.Unlock()
+	g.tel.Add(telemetry.BatchInsertItems, uint64(len(kvs)))
+	g.tel.ObserveBatchWidth(len(kvs))
+}
+
+// DeleteMinN implements pq.BatchDeleter: up to n exact minima under one
+// acquisition of the global lock.
+func (g *GlobalLock) DeleteMinN(dst []pq.KV, n int) int {
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	got := len(g.h.PopN(dst[:0], n))
+	g.mu.Unlock()
+	g.tel.Add(telemetry.BatchDeleteItems, uint64(got))
+	g.tel.ObserveBatchWidth(got)
+	return got
 }
 
 // PeekMin implements pq.Peeker.

@@ -1,0 +1,107 @@
+package skiplist
+
+import (
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+)
+
+// Batch support for the skiplist substrate (DESIGN.md §4c). The two costs a
+// sorted insertion batch can amortize here are (a) the arena claim — Reserve
+// makes the whole batch's nodes come out of one slab — and (b) the
+// predecessor search — FindFrom resumes the walk from the previous key's
+// window instead of re-descending from the head, so a run of k nearby keys
+// pays one full descent plus k short forward walks.
+
+// Reserve ensures the next `words` arena words can be bump-allocated without
+// a slab refill, refilling once up front if the current slab is too full.
+// Batch inserts call it so one batch's nodes are contiguous in one slab and
+// trigger at most one allocation. Requests larger than a slab are clamped:
+// an oversized batch simply refills mid-run, which is still amortized.
+func (h *Handle) Reserve(words int) {
+	if words <= 0 {
+		return
+	}
+	if words > slabWords-1 {
+		words = slabWords - 1
+	}
+	if h.off+uint32(words) > slabWords {
+		h.refill()
+	}
+}
+
+// FindFrom is Find seeded with a previously captured window (a finger
+// search): preds must hold, at every level, either the nil Node (ignored)
+// or a node with key strictly smaller than key that was linked at that
+// level when the window was captured. The search descends exactly like
+// Find — the predecessor found at level L+1 carries down to level L — but
+// at each level it fast-forwards to the seed when the seed is ahead of the
+// carried predecessor and still usable (unmarked at that level; marks are
+// never cleared, so an unmarked word proves the seed is still a legitimate
+// anchor — the same argument Find makes for the nodes it walks through).
+// For the ascending keys of a sorted batch this turns the per-key cost
+// from a full descent into a walk proportional to the inter-key gap.
+func (l *List) FindFrom(key uint64, preds, succs *[MaxHeight]Node) {
+retry:
+	for {
+		pred := l.head
+		for level := MaxHeight - 1; level >= 0; level-- {
+			if s := preds[level]; !s.IsNil() && s.idx != l.head.idx &&
+				(pred.idx == l.head.idx || s.Key() > pred.Key()) {
+				if _, m := s.Next(level); !m {
+					pred = s
+				}
+			}
+			curr, predMarked := pred.Next(level)
+			if predMarked {
+				// A seed adopted at a higher level died at this one; its
+				// frozen pointer cannot anchor unlink CASes. Restart without
+				// seeds.
+				l.Find(key, preds, succs)
+				return
+			}
+			for !curr.IsNil() {
+				succ, marked := curr.Next(level)
+				for marked {
+					// curr is deleted at this level: unlink it (same helping
+					// as Find).
+					if !pred.CASNext(level, curr, false, succ, false) {
+						continue retry
+					}
+					curr = succ
+					if curr.IsNil() {
+						break
+					}
+					succ, marked = curr.Next(level)
+				}
+				if curr.IsNil() || curr.Key() >= key {
+					break
+				}
+				pred = curr
+				curr = succ
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		return
+	}
+}
+
+// InsertRun links one node per element of kvs, which must already be sorted
+// ascending by key, drawing tower heights from r. The first key pays a full
+// Find; every subsequent key reuses the previous window via FindFrom, and
+// Reserve puts the whole run in one slab. This is the shared insertion path
+// of the skiplist-family batch inserts (SprayList, Shavit-Lotan).
+func (h *Handle) InsertRun(kvs []pq.KV, r *rng.Xoroshiro) {
+	if len(kvs) == 0 {
+		return
+	}
+	// 2 header words plus the expected geometric(1/2) tower of ~2 words,
+	// with slack so a typical batch never refills mid-run.
+	h.Reserve(len(kvs) * 6)
+	var preds, succs [MaxHeight]Node
+	for i, kv := range kvs {
+		height := RandomHeight(r)
+		n := h.NewNode(kv.Key, kv.Value, height)
+		h.l.linkWindow(n, kv.Key, height, &preds, &succs, i > 0)
+	}
+}

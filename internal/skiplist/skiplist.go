@@ -420,8 +420,26 @@ func (l *List) Insert(key, value uint64, height int) Node {
 // raise if the node is deleted concurrently.
 func (l *List) link(n Node, key uint64, height int) {
 	var preds, succs [MaxHeight]Node
+	l.linkWindow(n, key, height, &preds, &succs, false)
+}
+
+// linkWindow is link operating on a caller-supplied search window. When
+// seeded is true, preds must hold at every level a node (or the head, or
+// the nil Node meaning head) with key strictly smaller than key that was
+// linked at that level when captured — a previous, smaller key's window.
+// The search then resumes from those seeds (FindFrom) instead of
+// re-descending from the head, which is the batch-insert amortization:
+// sorted consecutive keys pay one full descent for the whole run. On
+// return the arrays hold the window used for this key, ready to seed the
+// next one.
+func (l *List) linkWindow(n Node, key uint64, height int, preds, succs *[MaxHeight]Node, seeded bool) {
 	for {
-		l.Find(key, &preds, &succs)
+		if seeded {
+			l.FindFrom(key, preds, succs)
+		} else {
+			l.Find(key, preds, succs)
+			seeded = true
+		}
 		// Prepare the whole tower, then link the bottom level; a successful
 		// bottom-level CAS makes the node logically present.
 		for i := 0; i < height; i++ {
@@ -447,7 +465,7 @@ func (l *List) link(n Node, key uint64, height int) {
 			if preds[level].CASNext(level, succs[level], false, n, false) {
 				break
 			}
-			l.Find(key, &preds, &succs)
+			l.FindFrom(key, preds, succs)
 		}
 	}
 }

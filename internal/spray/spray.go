@@ -169,14 +169,38 @@ func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
 	return 0, 0, false
 }
 
+// scanLimit bounds the forward claim scan after a spray landing; past it
+// the spray counts as a miss and is retried (or falls back).
+const scanLimit = 64
+
 // sprayOnce performs one spray walk and tries to claim a node at or after
 // the landing point. Returns the nil Node on a miss.
 func (h *Handle) sprayOnce() skiplist.Node {
+	curr, ok := h.sprayWalk()
+	if !ok {
+		return skiplist.Node{}
+	}
+	q := h.q
+	// Claim the landing node or the first claimable node after it.
+	for i := 0; !curr.IsNil() && i < scanLimit; i++ {
+		if curr != q.list.Head() && !curr.IsClaimed() && !curr.DeletedAt0() && curr.TryClaim() {
+			curr.MarkTower()
+			q.list.Unlink(curr)
+			return curr
+		}
+		curr, _ = curr.Next(0)
+	}
+	return skiplist.Node{}
+}
+
+// sprayWalk performs the randomized descent and returns the landing node
+// (possibly the head sentinel). ok is false on a failpoint-forced miss.
+func (h *Handle) sprayWalk() (landing skiplist.Node, ok bool) {
 	// Failpoint: a forced miss exercises the retry and fallback paths; a
 	// perturbation delays the walk so the landing region drains under it.
 	// Both happen before any node is claimed, so no item can be dropped.
 	if chaos.ShouldFail(chaos.SprayWalk) {
-		return skiplist.Node{}
+		return skiplist.Node{}, false
 	}
 	chaos.Perturb(chaos.SprayWalk)
 	q := h.q
@@ -206,17 +230,7 @@ func (h *Handle) sprayOnce() skiplist.Node {
 			level = 0
 		}
 	}
-	// Claim the landing node or the first claimable node after it.
-	const scanLimit = 64
-	for i := 0; !curr.IsNil() && i < scanLimit; i++ {
-		if curr != q.list.Head() && !curr.IsClaimed() && !curr.DeletedAt0() && curr.TryClaim() {
-			curr.MarkTower()
-			q.list.Unlink(curr)
-			return curr
-		}
-		curr, _ = curr.Next(0)
-	}
-	return skiplist.Node{}
+	return curr, true
 }
 
 // PeekMin reports the first unclaimed node (exact, not sprayed).

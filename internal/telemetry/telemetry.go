@@ -145,6 +145,19 @@ const (
 	// lost claim CAS (lotan/lotan.go:DeleteMin; one batched Add per call).
 	// This is the head-contention signal the Lindén batching avoids.
 	LotanClaimFail
+	// BatchInsertItems counts items moved through native InsertN paths
+	// (one batched Add per call — every substrate's InsertN). Divided by
+	// the batch-width histogram's count it yields the mean insert batch.
+	BatchInsertItems
+	// BatchDeleteItems counts items moved through native DeleteMinN paths
+	// (one batched Add per call — every substrate's DeleteMinN).
+	BatchDeleteItems
+	// BatchFallback counts batched harness operations that fell back to
+	// the scalar loop because the handle implements neither BatchInserter
+	// nor BatchDeleter (harness/harness.go:worker, quality/quality.go:Run;
+	// one batched Add per worker run). Nonzero on a queue claimed to have
+	// a native batch path means the capability detection is broken.
+	BatchFallback
 
 	// NumCounters bounds per-shard counter storage; not a counter itself.
 	NumCounters
@@ -174,6 +187,9 @@ var counterMeta = [NumCounters]struct{ name, help string }{
 	LindenRestructure: {"linden-restructure", "batch physical unlinks of the dead prefix"},
 	LindenSpliceRetry: {"linden-splice-retry", "lost validated level-0 splice CASes on insert"},
 	LotanClaimFail:    {"lotan-claim-fail", "head-scan steps that could not claim a node"},
+	BatchInsertItems:  {"batch-insert-items", "items moved through native InsertN paths"},
+	BatchDeleteItems:  {"batch-delete-items", "items moved through native DeleteMinN paths"},
+	BatchFallback:     {"batch-fallback", "batched ops served by the scalar fallback loop"},
 }
 
 // Name returns the counter's short table identifier, e.g. "slsm-republish".
@@ -189,10 +205,11 @@ func (c Counter) Help() string { return counterMeta[c].help }
 // quiet. The trailing pad keeps a neighbouring allocation off the last
 // counter's cache line.
 type Shard struct {
-	counts    [NumCounters]atomic.Uint64
-	insertLat Histogram
-	deleteLat Histogram
-	_         [8]uint64
+	counts     [NumCounters]atomic.Uint64
+	insertLat  Histogram
+	deleteLat  Histogram
+	batchWidth Histogram
+	_          [8]uint64
 }
 
 // registry is the global shard list Capture aggregates over. Shards are
@@ -278,15 +295,30 @@ func (s *Shard) ObserveDelete(ns int64) {
 	s.deleteLat.observe(ns)
 }
 
+// ObserveBatchWidth records the realized width of one native batch call —
+// the item count actually moved, which for DeleteMinN may be short of the
+// requested n. The histogram reuses the log₂ buckets (widths, not
+// nanoseconds). Nil-safe like Inc; one observation per batch call.
+func (s *Shard) ObserveBatchWidth(n int) {
+	if !Enabled {
+		return
+	}
+	if s == nil {
+		return
+	}
+	s.batchWidth.observe(int64(n))
+}
+
 // Snapshot is an aggregated, immutable view of all registered shards at
 // one point in time. Two snapshots bracketing a measured phase Diff into
 // the phase's own event counts — the harness takes one after prefill and
 // one after the workers join, so prefill activity never pollutes the
 // measured numbers.
 type Snapshot struct {
-	Counts    [NumCounters]uint64
-	InsertLat HistSnapshot
-	DeleteLat HistSnapshot
+	Counts     [NumCounters]uint64
+	InsertLat  HistSnapshot
+	DeleteLat  HistSnapshot
+	BatchWidth HistSnapshot
 }
 
 // Capture aggregates every registered shard into a Snapshot. It must only
@@ -304,6 +336,7 @@ func Capture() Snapshot {
 		}
 		snap.InsertLat.accumulate(&s.insertLat)
 		snap.DeleteLat.accumulate(&s.deleteLat)
+		snap.BatchWidth.accumulate(&s.batchWidth)
 	}
 	return snap
 }
@@ -318,6 +351,7 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	}
 	d.InsertLat = s.InsertLat.Diff(prev.InsertLat)
 	d.DeleteLat = s.DeleteLat.Diff(prev.DeleteLat)
+	d.BatchWidth = s.BatchWidth.Diff(prev.BatchWidth)
 	return d
 }
 
@@ -330,6 +364,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	}
 	m.InsertLat = s.InsertLat.Merge(o.InsertLat)
 	m.DeleteLat = s.DeleteLat.Merge(o.DeleteLat)
+	m.BatchWidth = s.BatchWidth.Merge(o.BatchWidth)
 	return m
 }
 
@@ -340,5 +375,6 @@ func (s Snapshot) Zero() bool {
 			return false
 		}
 	}
-	return s.InsertLat.Count() == 0 && s.DeleteLat.Count() == 0
+	return s.InsertLat.Count() == 0 && s.DeleteLat.Count() == 0 &&
+		s.BatchWidth.Count() == 0
 }

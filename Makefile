@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist bench-grid check chaos repro verify profile examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist bench-grid bench-churn check chaos repro verify trend profile examples clean
 
 all: build vet test
 
@@ -22,16 +22,21 @@ race:
 # CI gate: vet + build everything, then the race-sensitive packages (the
 # engineered MultiQueue's buffer stealing, the k-LSM's pooled hot path with
 # spy/run-buffer stealing, the packed-word skiplist substrate and its
-# lock-free queues, the quality replay, and the chaos checker) under the
-# race detector, plus a short-budget chaos pass over the whole registry
-# (scalar and batch widths) and a smoke run of the batch-width grid.
+# lock-free queues, the handle pool with its steal path and 0-alloc gate,
+# the harness churn mode, the quality replay, and the chaos checker) under
+# the race detector, plus a short-budget chaos pass over the whole registry
+# (scalar, batch widths, and pooled handle lifecycles), a smoke run of the
+# batch-width grid, and a self-diff smoke of the trend tool.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/core/ ./internal/multiq/ ./internal/skiplist/ ./internal/linden/ ./internal/spray/ ./internal/lotan/ ./internal/quality/ ./internal/chaos/
+	$(GO) test -race ./internal/pq/ ./internal/core/ ./internal/multiq/ ./internal/skiplist/ ./internal/linden/ ./internal/spray/ ./internal/lotan/ ./internal/harness/ ./internal/quality/ ./internal/chaos/
+	$(GO) test -race -run TestPoolChurn .
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500 -batch 8
+	$(GO) run -race ./cmd/pqverify -chaos -ops 1500 -pool
 	$(GO) run ./cmd/pqgrid -smoke > /dev/null
+	$(GO) run ./cmd/pqtrend -q BENCH_6.json BENCH_6.json
 
 # Fault-injection stress pass: every registry queue under seeded schedule
 # perturbations and forced CAS/try-lock failures, with item-conservation,
@@ -67,10 +72,19 @@ bench-skiplist:
 	$(GO) test -bench='^BenchmarkSkiplistPQ$$|^BenchmarkLindenInsertDeleteMin$$' -benchmem -benchtime=1s -count=3 .
 
 # The batch-width comparison grid (DESIGN.md §4c): fig-4a t8 for a queue
-# cross-section at widths {1,8}, reps interleaved across widths, emitted as
-# BENCH_6.json (MOps/s ±CI, allocs/op, git SHA, GOMAXPROCS).
+# cross-section at widths {1,8}, reps interleaved across widths, plus the
+# goroutine-churn cells (pool vs naive handle lifecycle), emitted as
+# BENCH_7.json (MOps/s ±CI, allocs/op, handle accounting, git SHA).
 bench-grid:
 	$(GO) run ./cmd/pqgrid
+
+# The goroutine-churn acceptance bench alone: pool vs naive lifecycle on
+# the churn acceptance queues, with abandonment, as a readable table.
+bench-churn:
+	$(GO) run ./cmd/pqbench -churn 100000 -churn-abandon 64 -threads 8 \
+		-queues klsm4096,multiq -prefill 100000 -reps 3
+	$(GO) run ./cmd/pqbench -churn 100000 -churn-abandon 64 -threads 8 \
+		-queues klsm4096,multiq -prefill 100000 -reps 3 -churn-naive
 
 # Every paper figure/table as a testing.B bench, fixed op count for speed.
 bench-quick:
@@ -87,6 +101,11 @@ repro:
 # Check claimed relaxation bounds against observed rank errors.
 verify:
 	$(GO) run ./cmd/pqverify
+
+# Diff the two newest BENCH_*.json reports; nonzero exit when any cell's
+# MOps/s regressed beyond the CI95 overlap (see cmd/pqtrend).
+trend:
+	$(GO) run ./cmd/pqtrend
 
 # Profile one queue on the fig-4a cell: CPU + heap profiles and queue
 # telemetry under ./profiles/. Inspect with `go tool pprof`.

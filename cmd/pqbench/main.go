@@ -40,6 +40,7 @@ import (
 	"cpq/internal/harness"
 	"cpq/internal/keys"
 	"cpq/internal/pq"
+	"cpq/internal/stats"
 	"cpq/internal/telemetry"
 	"cpq/internal/workload"
 )
@@ -64,6 +65,11 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit a markdown table instead of plain text")
 		plot      = flag.Bool("plot", false, "also render an ASCII chart of throughput vs threads (like the paper's figures)")
 		telemF    = flag.Bool("telemetry", false, "collect queue-internals counters and latency histograms; prints one section per cell after the table (see DESIGN.md §5)")
+		churnN    = flag.Int("churn", 0, "goroutine-churn mode: spawn this many short-lived goroutines per cell through the handle pool instead of the fixed-duration grid (the -threads sweep becomes the concurrent-slot sweep)")
+		churnAb   = flag.Int("churn-abandon", 0, "churn mode: every Nth goroutine abandons its handle instead of releasing it (0 = never)")
+		churnNv   = flag.Bool("churn-naive", false, "churn mode: use the naive mutex-guarded handle list instead of the pool (baseline)")
+		churnCap  = flag.Int("churn-cap", 0, "churn mode: pool handle cap (0 = slots+64; headroom amortizes one collector cycle over many abandonments)")
+		churnBur  = flag.Int("churn-burst", 0, "churn mode: ops per short-lived goroutine (0 = the harness default, 64)")
 	)
 	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
@@ -94,6 +100,12 @@ func main() {
 	cli.ValidateQueues("pqbench", queueNames) // validate before burning benchmark time
 	cli.ValidateBatch("pqbench", *batch)
 	cli.ValidateBatch("pqbench", *altBatch)
+
+	if *churnN > 0 {
+		runChurnTable(queueNames, threads, wl, kd,
+			*churnN, *churnBur, *churnAb, *churnCap, *prefill, *reps, *seed, *churnNv, *markdown)
+		return
+	}
 
 	header := fmt.Sprintf("# machine=%s workload=%s keys=%s prefill=%d duration=%v reps=%d",
 		*machine, wl, kd, *prefill, *duration, *reps)
@@ -198,6 +210,75 @@ func main() {
 		fmt.Println()
 		fmt.Print(chart.String())
 	}
+}
+
+// runChurnTable is the -churn mode: a slots × queue table of goroutine-
+// churn throughput (harness.RunChurn). Each cell spawns `goroutines`
+// short-lived goroutines across `slots` concurrent slots, every one
+// checking a handle out of the pool (or the naive baseline's mutex-guarded
+// list), doing a small op burst, and checking it back in; the reported
+// MOps/s includes that lifecycle cost. Handle accounting (created, steals)
+// is appended to each cell so abandonment recovery is visible in the table.
+func runChurnTable(queueNames []string, slotCounts []int,
+	wl workload.Kind, kd keys.Distribution,
+	goroutines, burst, abandonEvery, capHandles, prefill, reps int, seed uint64,
+	naive, markdown bool) {
+	lifecycle := "pool"
+	if naive {
+		lifecycle = "naive"
+	}
+	fmt.Printf("# churn goroutines=%d lifecycle=%s abandon_every=%d workload=%s keys=%s prefill=%d reps=%d\n",
+		goroutines, lifecycle, abandonEvery, wl, kd, prefill, reps)
+
+	var table cli.Table
+	head := []string{"slots"}
+	head = append(head, queueNames...)
+	table.AddRow(head...)
+	for _, slots := range slotCounts {
+		row := []string{fmt.Sprintf("%d", slots)}
+		// Headroom above the working set: a starved Acquire blocks on a
+		// collector cycle, so the cap decides how many abandonments one
+		// cycle amortizes over. slots+1 would GC per abandonment.
+		poolCap := capHandles
+		if poolCap <= 0 {
+			poolCap = slots + 64
+		}
+		for _, name := range queueNames {
+			name := name
+			var mops []float64
+			var last harness.ChurnStats
+			for rep := 0; rep < reps; rep++ {
+				last = harness.RunChurn(harness.ChurnConfig{
+					NewQueue: func(t int) pq.Queue {
+						q, err := cpq.NewQueue(name, cpq.Options{Threads: t})
+						exitOn(err)
+						return q
+					},
+					Slots:        slots,
+					Goroutines:   goroutines,
+					BurstOps:     burst,
+					Workload:     wl,
+					KeyDist:      kd,
+					Prefill:      prefill,
+					Seed:         seed + uint64(rep),
+					AbandonEvery: abandonEvery,
+					MaxHandles:   poolCap,
+					Naive:        naive,
+				})
+				mops = append(mops, last.MOps())
+			}
+			s := stats.Summarize(mops)
+			row = append(row, fmt.Sprintf("%.3f ±%.3f h=%d s=%d",
+				s.Mean, s.CI95, last.HandlesCreated, last.Steals))
+		}
+		table.AddRow(row...)
+	}
+	if markdown {
+		fmt.Print(table.Markdown())
+	} else {
+		fmt.Print(table.String())
+	}
+	fmt.Println("# cells are MOps/s mean ±95% CI; h = handles created, s = abandoned handles stolen back (last rep)")
 }
 
 // flagSet reports whether the named flag was explicitly provided.

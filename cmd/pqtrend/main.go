@@ -1,0 +1,92 @@
+// Command pqtrend diffs two BENCH_*.json reports from cmd/pqgrid and
+// flags per-cell throughput regressions: a cell regresses when its MOps/s
+// confidence interval in the newer report lies entirely below the older
+// report's (CI95 overlap test, internal/trend). Regressions exit nonzero,
+// so the command gates CI the way the in-run width-8 assertion gates a
+// single grid.
+//
+//	pqtrend                          # diff the two newest BENCH_*.json here
+//	pqtrend BENCH_6.json BENCH_7.json
+//	pqtrend -dir results/            # series discovery in another directory
+//
+// Cells present on only one side (new queues, retired widths) are listed
+// but never fail the diff. Comparisons where either side was a single-rep
+// run (CI95 = 0) are marked with '!': the verdict is then raw ordering,
+// not statistics, and does not fail the diff either.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cpq/internal/trend"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", ".", "directory searched for the BENCH_*.json series when no files are given")
+		quiet = flag.Bool("q", false, "print only regressions (and nothing on a clean diff)")
+	)
+	flag.Parse()
+
+	var basePath, headPath string
+	switch flag.NArg() {
+	case 0:
+		series, err := trend.Series(*dir)
+		exitOn(err)
+		if len(series) < 2 {
+			exitOn(fmt.Errorf("need two BENCH_*.json reports in %s to diff, found %d", *dir, len(series)))
+		}
+		basePath, headPath = series[len(series)-2], series[len(series)-1]
+	case 2:
+		basePath, headPath = flag.Arg(0), flag.Arg(1)
+	default:
+		exitOn(fmt.Errorf("usage: pqtrend [BASE.json HEAD.json]"))
+	}
+
+	base, err := trend.Load(basePath)
+	exitOn(err)
+	head, err := trend.Load(headPath)
+	exitOn(err)
+
+	deltas, onlyBase, onlyHead := trend.Diff(base, head)
+	if !*quiet {
+		fmt.Printf("# base %s (%s reps=%d)  head %s (%s reps=%d)\n",
+			basePath, base.GitSHA, base.Reps, headPath, head.GitSHA, head.Reps)
+	}
+	var regressions int
+	for _, d := range deltas {
+		// A zero-CI side means a single-rep run: raw ordering, not
+		// statistics. Show it, flag it, never fail on it.
+		mark := " "
+		if d.ZeroCI {
+			mark = "!"
+		} else if d.Verdict == trend.Regression {
+			regressions++
+		}
+		if *quiet && (d.Verdict != trend.Regression || d.ZeroCI) {
+			continue
+		}
+		fmt.Printf("%s %s\n", mark, d)
+	}
+	if !*quiet {
+		for _, s := range onlyBase {
+			fmt.Printf("- only in base: %s\n", s)
+		}
+		for _, s := range onlyHead {
+			fmt.Printf("+ only in head: %s\n", s)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "pqtrend: %d cell(s) regressed beyond CI95\n", regressions)
+		os.Exit(1)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pqtrend:", err)
+		os.Exit(1)
+	}
+}

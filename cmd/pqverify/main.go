@@ -54,6 +54,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "RNG seed (chaos: replays a failing run's injection)")
 		chaosF    = flag.Bool("chaos", false, "run the fault-injection stress harness instead of the plain rank check")
 		batch     = flag.Int("batch", 1, "operation batch width: route operations through InsertN/DeleteMinN (chaos interleaves batch and scalar calls; see DESIGN.md §4c)")
+		poolF     = flag.Bool("pool", false, "route handles through the elastic pq.Pool lifecycle and judge bounds against the dynamic handle count (quality.EffectiveP); chaos mode recovers abandoned handles by stealing")
 	)
 	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
@@ -72,7 +73,7 @@ func main() {
 	cli.ValidateBatch("pqverify", *batch)
 
 	if *chaosF {
-		if runChaos(names, *threadsF, *ops, *seed, *slack, *tolerance, *batch) {
+		if runChaos(names, *threadsF, *ops, *seed, *slack, *tolerance, *batch, *poolF) {
 			stopProf() // flush profiles: os.Exit skips deferred calls
 			os.Exit(1)
 		}
@@ -99,10 +100,18 @@ func main() {
 			Prefill:      *prefill,
 			OpBatch:      *batch,
 			Seed:         *seed,
+			UsePool:      *poolF,
 		})
 		// The benchmark adds a prefill handle beyond the workers, so the
-		// effective P for per-handle bounds (kP) is threads+1.
-		bound, kind := quality.ClaimedBound(name, *threadsF+1)
+		// effective P for per-handle bounds (kP) is threads+1 — unless the
+		// run went through the pool, in which case the pool's own
+		// accounting (peak-live handles, created handles) sets the window
+		// and the bound shrinks with the actual lifecycle.
+		effP := *threadsF + 1
+		if *poolF {
+			effP = quality.EffectiveP(name, res.PoolPeakLive, res.PoolCreated)
+		}
+		bound, kind := quality.ClaimedBound(name, effP)
 		if kind == quality.BoundNone {
 			fmt.Printf("%-12s %-14s %10d %10.1f %12s  %s\n",
 				name, "(none)", res.MaxRank, res.MeanRank, "-", "reported only")
@@ -132,10 +141,13 @@ func main() {
 
 // runChaos stress-tests every named queue under fault injection and reports
 // per-queue verdicts; it returns true if any invariant was violated.
-func runChaos(names []string, threads, ops int, seed uint64, slack int, tolerance float64, batch int) (failed bool) {
+func runChaos(names []string, threads, ops int, seed uint64, slack int, tolerance float64, batch int, pool bool) (failed bool) {
 	fmt.Printf("chaos: threads=%d ops/thread=%d", threads, ops)
 	if batch > 1 {
 		fmt.Printf(" batch=%d", batch)
+	}
+	if pool {
+		fmt.Printf(" pool")
 	}
 	if seed != 0 {
 		fmt.Printf(" seed=%#x (replay)", seed)
@@ -159,6 +171,7 @@ func runChaos(names []string, threads, ops int, seed uint64, slack int, toleranc
 			Slack:        slack,
 			Tolerance:    tolerance,
 			OpBatch:      batch,
+			UsePool:      pool,
 		})
 		fmt.Println(res)
 		if res.Failed() {
@@ -166,6 +179,9 @@ func runChaos(names []string, threads, ops int, seed uint64, slack int, toleranc
 			batchArg := ""
 			if batch > 1 {
 				batchArg = fmt.Sprintf(" -batch %d", batch)
+			}
+			if pool {
+				batchArg += " -pool"
 			}
 			fmt.Printf("    replay: pqverify -chaos -queues %s -threads %d -ops %d%s -seed %#x\n",
 				name, threads, ops, batchArg, res.Seed)

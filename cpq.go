@@ -74,6 +74,25 @@ type Item = pq.Item
 // alias of Item.
 type KV = pq.KV
 
+// Pool is an elastic handle pool over any registry queue: Acquire/Release
+// with a zero-alloc per-shard fast path, lock-free recovery of abandoned
+// handles, and capped growth. See the pq package documentation and
+// DESIGN.md's handle-lifecycle section.
+type Pool = pq.Pool
+
+// PooledHandle is the Handle implementation Pool.Acquire returns.
+type PooledHandle = pq.PooledHandle
+
+// PoolOptions configures NewPool.
+type PoolOptions = pq.PoolOptions
+
+// NewPool wraps q in an elastic handle pool. Goroutines call Acquire for a
+// handle and Release when done; a goroutine that exits without Release
+// merely delays its handle's reuse (the pool steals it back) instead of
+// leaking it. Prefer this over per-goroutine q.Handle() whenever goroutine
+// lifetimes are short or unbounded relative to the queue's.
+func NewPool(q Queue, opts PoolOptions) *Pool { return pq.NewPool(q, opts) }
+
 // NewKLSM returns a k-LSM relaxed priority queue with relaxation parameter
 // k. DeleteMin returns one of the kP smallest items, where P is the number
 // of handles in use. The paper evaluates k ∈ {128, 256, 4096}.

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,14 @@ type CheckConfig struct {
 	// buffers (default 1 when Threads > 1). The post-phase Flush must make
 	// those items reachable again; losing them is an invariant violation.
 	Abandon int
+	// UsePool routes every handle through a pq.Pool. Abandonment then means
+	// dropping the pooled wrapper without Release — the recovery route is
+	// the pool's finalizer steal, not a manual Flush — and the relaxation
+	// bound is judged against the dynamic handle count
+	// (quality.EffectiveP of the pool's peak-live and created counts)
+	// instead of a frozen Threads+2. The acquire-steal failpoint fires on
+	// this path.
+	UsePool bool
 	// Seed drives the fault injection, the key streams and the workload
 	// mix. A failing seed reproduces the same injected decision sequence
 	// (see the package documentation on determinism). Zero selects the
@@ -113,6 +122,11 @@ type CheckResult struct {
 	Quality quality.Result
 	// Injected reports the failpoint activity of the run (coverage).
 	Injected Stats
+	// PoolPeakLive, PoolCreated and PoolSteals are the handle pool's
+	// statistics for a UsePool run (zero otherwise); Bound is then derived
+	// from quality.EffectiveP(Name, PoolPeakLive, PoolCreated).
+	PoolPeakLive, PoolCreated int
+	PoolSteals                uint64
 	// Violations lists every invariant violation found; empty means PASS.
 	Violations []string
 }
@@ -156,8 +170,28 @@ func Check(cfg CheckConfig) CheckResult {
 	Enable(inj)
 	defer Disable()
 
-	q := cfg.NewQueue(cfg.Threads)
+	// Pool mode constructs the queue minimally sized — the pool's Grower
+	// calls size layout-elastic structures to the created-handle count, so
+	// the dynamic bound judges the size the structure really reached.
+	constructP := cfg.Threads
+	if cfg.UsePool {
+		constructP = 1
+	}
+	q := cfg.NewQueue(constructP)
 	var seq, nextID atomic.Uint64
+
+	// Handle lifecycle: plain mode hands out q.Handle() per role and
+	// recovers abandoned buffers with manual Flush; pool mode routes every
+	// role through Acquire/Release and recovers abandonment through the
+	// finalizer steal.
+	var pool *pq.Pool
+	acquire := func() pq.Handle { return q.Handle() }
+	release := func(h pq.Handle) { pq.Flush(h) }
+	if cfg.UsePool {
+		pool = pq.NewPool(q, pq.PoolOptions{MaxHandles: cfg.Threads + 2})
+		acquire = func() pq.Handle { return pool.Acquire() }
+		release = func(h pq.Handle) { pool.Release(h.(*pq.PooledHandle)) }
+	}
 
 	// Phase 1: logged prefill. The prefill handle counts toward the
 	// effective P of the kP window (hence Threads+2 above: prefill handle,
@@ -165,7 +199,7 @@ func Check(cfg CheckConfig) CheckResult {
 	// the bound only loosens, never tightens, by over-counting).
 	events := make([]quality.Event, 0, cfg.Prefill+cfg.Threads*cfg.OpsPerThread)
 	{
-		h := q.Handle()
+		h := acquire()
 		r := rng.New(cfg.Seed ^ 0xd1b54a32d192ed03)
 		gen := keys.NewGenerator(keys.Uniform32, r)
 		for i := 0; i < cfg.Prefill; i++ {
@@ -174,7 +208,7 @@ func Check(cfg CheckConfig) CheckResult {
 			events = append(events, quality.Event{Seq: seq.Add(1), ID: id, Key: k})
 			h.Insert(k, id)
 		}
-		pq.Flush(h)
+		release(h)
 	}
 
 	// Phase 2: concurrent measured phase.
@@ -189,8 +223,14 @@ func Check(cfg CheckConfig) CheckResult {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := q.Handle()
-			handles[w] = h
+			h := acquire()
+			if pool == nil {
+				// Plain mode keeps every handle reachable for the manual
+				// Flush recovery. Pool mode must NOT: an abandoned wrapper
+				// is recovered precisely because nothing references it once
+				// its goroutine exits.
+				handles[w] = h
+			}
 			r := rng.New(cfg.Seed + uint64(w)*0x6a09e667f3bcc909)
 			gen := keys.NewGenerator(keys.Uniform32, r)
 			policy := workload.ForWorkerBatched(workload.Uniform, w, cfg.Threads, 0, 0, r)
@@ -269,8 +309,8 @@ func Check(cfg CheckConfig) CheckResult {
 				}
 			}
 			if !abandoned {
-				pq.Flush(h)
-			}
+				release(h)
+			} // abandoned + pool: drop the wrapper without Release
 			logs[w] = local
 		}(w)
 	}
@@ -278,13 +318,33 @@ func Check(cfg CheckConfig) CheckResult {
 	wg.Wait()
 	res.EmptyDeletes = emptyDels.Load()
 
-	// Phase 3: recovery and drain. First the Flusher contract on the
-	// abandoned handles: everything they still buffer must become
-	// reachable. (Safe from this goroutine: the workers have joined.)
-	for w := 0; w < cfg.Abandon; w++ {
-		pq.Flush(handles[w])
+	// Phase 3: recovery and drain. Plain mode exercises the Flusher
+	// contract on the abandoned handles: everything they still buffer must
+	// become reachable. (Safe from this goroutine: the workers have
+	// joined.) Pool mode exercises the steal path instead: the abandoned
+	// wrappers became unreachable when their workers joined, so provoking
+	// the collector must reclaim them — finalizer flush, live count back
+	// down — before the drain can balance the books.
+	if pool != nil {
+		want := uint64(cfg.Abandon)
+		for i := 0; i < 4000 && pool.Steals() < want; i++ {
+			runtime.GC()
+			runtime.Gosched()
+		}
+		if got := pool.Steals(); got < want {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"pool: only %d of %d abandoned handles reclaimed after repeated GC", got, want))
+		}
+		if live := pool.Live(); live != 0 {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"pool: %d handles still live after every worker released or was stolen", live))
+		}
+	} else {
+		for w := 0; w < cfg.Abandon; w++ {
+			pq.Flush(handles[w])
+		}
 	}
-	drainH := q.Handle()
+	drainH := acquire()
 	totalInserted := nextID.Load()
 	var logged uint64 // deletions logged so far, recomputed below
 	for _, l := range logs {
@@ -310,7 +370,9 @@ func Check(cfg CheckConfig) CheckResult {
 		// recovered are lost.
 		retries++
 		for _, h := range handles {
-			pq.Flush(h)
+			if h != nil { // pool mode stores none; stolen wrappers already flushed
+				pq.Flush(h)
+			}
 		}
 		pq.Flush(drainH)
 		if k, id, ok := drainH.DeleteMin(); ok {
@@ -327,6 +389,18 @@ func Check(cfg CheckConfig) CheckResult {
 	} else if k, v, ok := pq.PeekMin(q); ok {
 		res.Violations = append(res.Violations, fmt.Sprintf(
 			"emptiness oracle: queue PeekMin reports key %d (value %d) after DeleteMin reported empty", k, v))
+	}
+	if pool != nil {
+		release(drainH)
+		res.PoolPeakLive = pool.PeakLive()
+		res.PoolCreated = pool.Created()
+		res.PoolSteals = pool.Steals()
+		// Dynamic relaxation accounting: the run's actual handle lifecycle,
+		// not a frozen Threads+2, sets the kP window (shrinking it when the
+		// peak-live count stayed low; see quality.EffectiveP for the k-LSM
+		// created-count exception).
+		res.Bound, res.Kind = quality.ClaimedBound(cfg.Name,
+			quality.EffectiveP(cfg.Name, res.PoolPeakLive, res.PoolCreated))
 	}
 
 	// Phase 4: forensics on the merged log.
@@ -435,6 +509,10 @@ func (r CheckResult) String() string {
 	s := fmt.Sprintf("%-14s ins=%-8d del=%-8d drained=%-7d maxrank=%-8d bound=%-12s inj=%-6d %s",
 		r.Name, r.Inserts, r.Deletions, r.Drained, r.Quality.MaxRank, boundStr,
 		r.Injected.TotalHits(), verdict)
+	if r.PoolCreated > 0 {
+		s += fmt.Sprintf("  [pool peak=%d created=%d steals=%d]",
+			r.PoolPeakLive, r.PoolCreated, r.PoolSteals)
+	}
 	for _, v := range r.Violations {
 		s += "\n    " + v
 	}

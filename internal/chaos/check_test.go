@@ -8,6 +8,7 @@ import (
 	"cpq/internal/core"
 	"cpq/internal/multiq"
 	"cpq/internal/pq"
+	"cpq/internal/quality"
 	"cpq/internal/seqheap"
 )
 
@@ -224,4 +225,42 @@ func hasViolation(res chaos.CheckResult, substr string) bool {
 		}
 	}
 	return false
+}
+
+// TestCheckPoolMode runs the checker with every handle routed through a
+// pq.Pool: abandonment is dropping the wrapper without Release, recovery is
+// the finalizer steal, and the relaxation bound is the dynamic EffectiveP
+// one. Covers the acquire-steal failpoint and the post-steal accounting.
+func TestCheckPoolMode(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int) pq.Queue
+	}{
+		{"klsm128", func(int) pq.Queue { return core.NewKLSM(128) }},
+		{"multiq", func(threads int) pq.Queue { return multiq.New(2, threads+2) }},
+	} {
+		cfg := small(tc.name, tc.mk)
+		cfg.UsePool = true
+		res := chaos.Check(cfg)
+		if res.Failed() {
+			t.Fatalf("%s pool-mode chaos check failed (seed %d):\n%s", tc.name, res.Seed, res)
+		}
+		if res.PoolSteals < uint64(1) {
+			t.Fatalf("%s: no abandoned handle was stolen:\n%s", tc.name, res)
+		}
+		if res.PoolCreated == 0 || res.PoolPeakLive == 0 {
+			t.Fatalf("%s: pool statistics missing:\n%s", tc.name, res)
+		}
+		if res.Injected.Hits[chaos.AcquireSteal] == 0 {
+			t.Fatalf("%s: acquire-steal failpoint never hit: %+v", tc.name, res.Injected.Hits)
+		}
+		// The reported bound must be the dynamic one — derived from the
+		// pool's peak-live/created counts, not the frozen Threads+2.
+		wantP := quality.EffectiveP(tc.name, res.PoolPeakLive, res.PoolCreated)
+		wantBound, wantKind := quality.ClaimedBound(tc.name, wantP)
+		if res.Bound != wantBound || res.Kind != wantKind {
+			t.Fatalf("%s: bound %d (%s) not judged against EffectiveP=%d (want %d %s)",
+				tc.name, res.Bound, res.Kind, wantP, wantBound, wantKind)
+		}
+	}
 }

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+
+	"cpq/internal/core"
+	"cpq/internal/multiq"
+	"cpq/internal/pq"
+)
+
+func TestRunChurnPooled(t *testing.T) {
+	st := RunChurn(ChurnConfig{
+		NewQueue:   func(int) pq.Queue { return multiq.New(2, 1) },
+		Slots:      4,
+		Goroutines: 400,
+		BurstOps:   32,
+		Prefill:    2000,
+	})
+	if st.Goroutines != 400 {
+		t.Fatalf("Goroutines = %d, want 400", st.Goroutines)
+	}
+	if want := uint64(400 * 32); st.Ops != want {
+		t.Fatalf("Ops = %d, want %d", st.Ops, want)
+	}
+	// The whole point: 400 goroutines served by a handful of real handles.
+	if st.HandlesCreated > 5 {
+		t.Fatalf("HandlesCreated = %d for 4 slots (cap 5): recycling broken", st.HandlesCreated)
+	}
+	if st.PeakLive < 1 || st.PeakLive > 5 {
+		t.Fatalf("PeakLive = %d, want 1..5", st.PeakLive)
+	}
+	if st.MOps() <= 0 {
+		t.Fatalf("MOps = %v, want > 0", st.MOps())
+	}
+}
+
+func TestRunChurnAbandonmentStealing(t *testing.T) {
+	st := RunChurn(ChurnConfig{
+		NewQueue:     func(int) pq.Queue { return core.NewKLSM(128) },
+		Slots:        2,
+		Goroutines:   300,
+		BurstOps:     16,
+		Prefill:      1000,
+		AbandonEvery: 10, // 30 goroutines walk away with their handle
+	})
+	// Every abandoned handle must eventually be stolen back — with a tiny
+	// cap (Slots+1 = 3) the run cannot even finish otherwise, because the
+	// abandoners exhaust the cap and Acquire waits for the collector.
+	if st.Steals == 0 {
+		t.Fatalf("no steals after %d abandonments: %+v", 300/10, st)
+	}
+	if st.HandlesCreated > 3 {
+		t.Fatalf("HandlesCreated = %d, want <= cap 3", st.HandlesCreated)
+	}
+	if want := uint64(300 * 16); st.Ops != want {
+		t.Fatalf("Ops = %d, want %d", st.Ops, want)
+	}
+}
+
+func TestRunChurnNaiveBaseline(t *testing.T) {
+	st := RunChurn(ChurnConfig{
+		NewQueue:     func(int) pq.Queue { return multiq.New(2, 1) },
+		Slots:        4,
+		Goroutines:   200,
+		BurstOps:     16,
+		Prefill:      1000,
+		AbandonEvery: 8,
+		Naive:        true,
+	})
+	if st.Steals != 0 {
+		t.Fatalf("naive baseline cannot steal, got %d", st.Steals)
+	}
+	// The naive lifecycle loses every abandoned handle and creates a fresh
+	// one; 200/8 = 25 abandonments on top of the 4-5 working handles.
+	if st.HandlesCreated < 25 {
+		t.Fatalf("HandlesCreated = %d, want >= 25 (abandonment leaks handles)", st.HandlesCreated)
+	}
+	if want := uint64(200 * 16); st.Ops != want {
+		t.Fatalf("Ops = %d, want %d", st.Ops, want)
+	}
+	runtime.GC() // drop the leaked handles before other tests run
+}

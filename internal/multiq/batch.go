@@ -64,10 +64,10 @@ func (h *Handle) InsertN(kvs []pq.KV) {
 	if n == 0 {
 		return
 	}
-	q := h.q
-	nq := uint64(len(q.qs))
+	qs := h.q.queues()
+	nq := uint64(len(qs))
 	for attempt := 0; attempt < insertTryLimit; attempt++ {
-		s := &q.qs[h.rng.Uintn(nq)]
+		s := qs[h.rng.Uintn(nq)]
 		// Failpoint: a forced try-lock failure redirects the whole batch to
 		// another sub-queue, like a genuinely contended lock.
 		if !chaos.ShouldFail(chaos.MQLock) && s.mu.TryLock() {
@@ -79,7 +79,7 @@ func (h *Handle) InsertN(kvs []pq.KV) {
 			return
 		}
 	}
-	s := &q.qs[h.rng.Uintn(nq)]
+	s := qs[h.rng.Uintn(nq)]
 	chaos.Perturb(chaos.MQLock)
 	s.mu.Lock()
 	pushAll(s.heap, kvs)
@@ -99,16 +99,16 @@ func (h *Handle) DeleteMinN(dst []pq.KV, n int) int {
 	if n <= 0 {
 		return 0
 	}
-	q := h.q
+	qs := h.q.queues()
 	got := 0
 	for got < n {
 		progressed := false
-		for attempt := 0; attempt < 3*len(q.qs); attempt++ {
-			pick, min := q.sampleTwo(h.rng)
+		for attempt := 0; attempt < 3*len(qs); attempt++ {
+			pick, min := sampleTwo(qs, h.rng)
 			if min == emptyKey {
 				continue // both sampled queues look empty; resample
 			}
-			s := &q.qs[pick]
+			s := qs[pick]
 			if chaos.ShouldFail(chaos.MQLock) || !s.mu.TryLock() {
 				continue
 			}
@@ -140,18 +140,25 @@ func (h *Handle) DeleteMinN(dst []pq.KV, n int) int {
 var _ pq.BatchInserter = (*EHandle)(nil)
 var _ pq.BatchDeleter = (*EHandle)(nil)
 
-// InsertN implements pq.BatchInserter. A batch at least as wide as the
-// insertion buffer skips the sorted buffer entirely: the pending buffer
-// and the batch are published together under one sub-queue lock (the
-// batch is one pre-made flush). Narrower batches fill the buffer under a
-// single h.mu round trip and flush only if it spills.
+// InsertN implements pq.BatchInserter. Batches route through the sorted
+// insertion buffer so the scalar path's local handoff survives batching:
+// a buffered batch is visible to the handle's own DeleteMin/DeleteMinN
+// (the insertion buffer competes as a deletion source), and in mixed
+// workloads most batch items never touch a sub-queue lock at all. The
+// buffer is granted one batch width of headroom before spilling — a batch
+// is one synchronization episode, and the next delete batch gets the
+// chance to compete it away — because the scalar spill threshold (b)
+// would otherwise force a publish on every batch of width >= b, which is
+// exactly the width-8 regression this path had. Only a batch that dwarfs
+// the buffer (>= 2b) skips it: pending buffer and batch are published
+// together under one sub-queue lock, a pre-made flush.
 func (h *EHandle) InsertN(kvs []pq.KV) {
 	n := len(kvs)
 	if n == 0 {
 		return
 	}
 	h.mu.Lock()
-	if n >= h.q.buf {
+	if n >= 2*h.q.buf {
 		h.tel.Inc(telemetry.MQInsFlush)
 		// Failpoint: stall the flush while h.mu is held, so sweeps and
 		// steals from other handles pile up against the batch.
@@ -163,11 +170,14 @@ func (h *EHandle) InsertN(kvs []pq.KV) {
 		s.updateMin()
 		s.mu.Unlock()
 	} else {
+		if len(h.ins) >= h.q.buf {
+			// Spill the stale pending items first and keep the fresh batch
+			// local: the next delete batch competes for the newest keys.
+			// The buffer stays below b + batch width either way.
+			h.flushInsLocked()
+		}
 		for _, kv := range kvs {
 			h.pushInsLocked(kv)
-		}
-		if len(h.ins) >= h.q.buf {
-			h.flushInsLocked()
 		}
 	}
 	h.mu.Unlock()

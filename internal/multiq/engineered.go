@@ -164,9 +164,10 @@ func (h *EHandle) flushInsLocked() {
 // insert path). The chosen index becomes the new sticky target.
 func (h *EHandle) lockForInsert() *subqueue {
 	q := h.q
-	n := uint64(len(q.qs))
+	qs := q.queues()
+	n := uint64(len(qs))
 	if h.insLeft > 0 {
-		s := &q.qs[h.insQ]
+		s := qs[h.insQ] // sticky indices survive growth (prefix is shared)
 		// Failpoint: a forced try-lock failure abandons the sticky target,
 		// exercising the stick-reset and resample path.
 		if !chaos.ShouldFail(chaos.MQLock) && s.mu.TryLock() {
@@ -178,14 +179,14 @@ func (h *EHandle) lockForInsert() *subqueue {
 	}
 	for attempt := 0; attempt < insertTryLimit; attempt++ {
 		i := int(h.rng.Uintn(n))
-		s := &q.qs[i]
+		s := qs[i]
 		if !chaos.ShouldFail(chaos.MQLock) && s.mu.TryLock() {
 			h.insQ, h.insLeft = i, q.stick-1
 			return s
 		}
 	}
 	i := int(h.rng.Uintn(n))
-	s := &q.qs[i]
+	s := qs[i]
 	chaos.Perturb(chaos.MQLock)
 	s.mu.Lock()
 	h.insQ, h.insLeft = i, q.stick-1
@@ -231,10 +232,11 @@ func (h *EHandle) refillLocked() (pq.Item, bool) {
 // the width only changes how much one acquisition pops.
 func (h *EHandle) refillNLocked(want int) (pq.Item, bool) {
 	q := h.q
-	for attempt := 0; attempt < 3*len(q.qs); attempt++ {
+	qs := q.queues()
+	for attempt := 0; attempt < 3*len(qs); attempt++ {
 		pick, min := -1, uint64(emptyKey)
 		if h.delLeft > 0 {
-			pick, min = h.delQ, q.qs[h.delQ].min.Load()
+			pick, min = h.delQ, qs[h.delQ].min.Load()
 			h.delLeft--
 			if min == emptyKey {
 				pick, h.delLeft = -1, 0 // sticky target drained; resample
@@ -242,7 +244,7 @@ func (h *EHandle) refillNLocked(want int) (pq.Item, bool) {
 			}
 		}
 		if pick < 0 {
-			pick, min = q.sampleTwo(h.rng)
+			pick, min = sampleTwo(qs, h.rng)
 			h.delQ, h.delLeft = pick, q.stick-1
 		}
 		if len(h.ins) > 0 && h.ins[0].Key <= min {
@@ -254,7 +256,7 @@ func (h *EHandle) refillNLocked(want int) (pq.Item, bool) {
 		// Failpoint: stall between the cached-min sample and the batch pop
 		// (inviting a raced drain), and force the occasional try-lock loss.
 		chaos.Perturb(chaos.MQRefill)
-		s := &q.qs[pick]
+		s := qs[pick]
 		if chaos.ShouldFail(chaos.MQLock) || !s.mu.TryLock() {
 			h.delLeft = 0
 			h.tel.Inc(telemetry.MQStickReset)
@@ -333,16 +335,17 @@ func (h *EHandle) sweepBuffered() (key, value uint64, ok bool) {
 // concurrency, like the seed's PeekMin).
 func (h *EHandle) PeekMin() (key, value uint64, ok bool) {
 	q := h.q
+	qs := q.queues()
 	best := pq.Item{Key: emptyKey}
 	found := false
 	bestIdx := -1
-	for i := range q.qs {
-		if m := q.qs[i].min.Load(); m < best.Key {
+	for i := range qs {
+		if m := qs[i].min.Load(); m < best.Key {
 			best.Key, bestIdx = m, i
 		}
 	}
 	if bestIdx >= 0 {
-		s := &q.qs[bestIdx]
+		s := qs[bestIdx]
 		s.mu.Lock()
 		if it, have := s.heap.Min(); have {
 			best, found = it, true

@@ -104,10 +104,10 @@ func TestEngineeredFlushVisibility(t *testing.T) {
 	}
 	subTotal := func() int {
 		total := 0
-		for i := range q.qs {
-			q.qs[i].mu.Lock()
-			total += q.qs[i].heap.Len()
-			q.qs[i].mu.Unlock()
+		for _, s := range q.queues() {
+			s.mu.Lock()
+			total += s.heap.Len()
+			s.mu.Unlock()
 		}
 		return total
 	}

@@ -58,6 +58,12 @@ type subqueue struct {
 	_    [5]uint64     // pad to a cache line to avoid false sharing of locks
 }
 
+func newSubqueue(mkHeap func() SubHeap) *subqueue {
+	s := &subqueue{heap: mkHeap()}
+	s.min.Store(emptyKey)
+	return s
+}
+
 func (s *subqueue) updateMin() {
 	if it, ok := s.heap.Min(); ok {
 		s.min.Store(it.Key)
@@ -66,24 +72,37 @@ func (s *subqueue) updateMin() {
 	}
 }
 
-// Queue is a MultiQueue with a fixed set of sub-queues. The engineered
-// variant (NewEngineered) additionally carries the stickiness and buffer
-// parameters and a registry of its buffered handles, which the emptiness
-// oracle (sweep), Len and PeekMin consult.
+// Queue is a MultiQueue over a growable set of sub-queues: the set starts
+// at c·p for the constructor's thread-count parameter and grows (never
+// shrinks) when a handle pool outgrows it (EnsureHandles), so the c·P
+// sizing rule tracks the live handle count instead of a frozen
+// Options.Threads. The engineered variant (NewEngineered) additionally
+// carries the stickiness and buffer parameters and a registry of its
+// buffered handles, which the emptiness oracle (sweep), Len and PeekMin
+// consult.
 type Queue struct {
-	qs    []subqueue
-	c     int
-	p     int
-	stick int    // sticky reuses per sub-queue selection (<=1: off)
-	buf   int    // per-handle insertion/deletion buffer size (<=1: off)
-	name  string // benchmark identifier, e.g. "multiq" or "multiq-s4-b8"
-	seed  atomic.Uint64
+	// qs is the current sub-queue set, published atomically by growth.
+	// Growth copies the old prefix into a longer slice, so an index into
+	// an old snapshot stays valid in every later one (sticky targets
+	// survive growth); only readers that must visit EVERY sub-queue
+	// (sweepSubqueues, Len) need to re-check the pointer.
+	qs     atomic.Pointer[[]*subqueue]
+	c      int
+	p      atomic.Int32 // handle count the current layout is sized for
+	stick  int          // sticky reuses per sub-queue selection (<=1: off)
+	buf    int          // per-handle insertion/deletion buffer size (<=1: off)
+	name   string       // benchmark identifier, e.g. "multiq" or "multiq-s4-b8"
+	mkHeap func() SubHeap
+	seed   atomic.Uint64
+
+	growMu sync.Mutex // serializes EnsureHandles
 
 	hmu     sync.Mutex
 	handles []*EHandle // buffered handles; append-only under hmu
 }
 
 var _ pq.Queue = (*Queue)(nil)
+var _ pq.Grower = (*Queue)(nil)
 
 // New returns a MultiQueue with c·p sub-queues (c <= 0 selects DefaultC,
 // p < 1 is treated as 1), each backed by a binary heap as in the paper.
@@ -103,13 +122,42 @@ func NewWith(c, p int, mkHeap func() SubHeap) *Queue {
 	if mkHeap == nil {
 		mkHeap = func() SubHeap { return &seqheap.Heap{} }
 	}
-	n := c * p
-	q := &Queue{qs: make([]subqueue, n), c: c, p: p, stick: 1, buf: 1, name: "multiq"}
-	for i := range q.qs {
-		q.qs[i].heap = mkHeap()
-		q.qs[i].min.Store(emptyKey)
+	q := &Queue{c: c, stick: 1, buf: 1, name: "multiq", mkHeap: mkHeap}
+	q.p.Store(int32(p))
+	qs := make([]*subqueue, c*p)
+	for i := range qs {
+		qs[i] = newSubqueue(mkHeap)
 	}
+	q.qs.Store(&qs)
 	return q
+}
+
+// queues returns the current sub-queue set. Callers use one snapshot per
+// operation; see the Queue.qs comment for the growth contract.
+func (q *Queue) queues() []*subqueue { return *q.qs.Load() }
+
+// EnsureHandles implements pq.Grower: grow the sub-queue set to c·p when a
+// handle pool's live set outgrows the layout the queue was built for.
+// Existing sub-queues (and sticky indices into them) stay valid because
+// growth publishes a longer slice sharing the old prefix. Idempotent;
+// never shrinks.
+func (q *Queue) EnsureHandles(p int) {
+	if p <= int(q.p.Load()) {
+		return
+	}
+	q.growMu.Lock()
+	defer q.growMu.Unlock()
+	if p <= int(q.p.Load()) {
+		return
+	}
+	old := *q.qs.Load()
+	qs := make([]*subqueue, q.c*p)
+	copy(qs, old)
+	for i := len(old); i < len(qs); i++ {
+		qs[i] = newSubqueue(q.mkHeap)
+	}
+	q.qs.Store(&qs)
+	q.p.Store(int32(p))
 }
 
 // Name implements pq.Queue.
@@ -118,11 +166,12 @@ func (q *Queue) Name() string { return q.name }
 // C returns the queues-per-thread factor.
 func (q *Queue) C() int { return q.c }
 
-// P returns the thread-count parameter.
-func (q *Queue) P() int { return q.p }
+// P returns the handle count the current layout is sized for (the
+// constructor's thread parameter, or the high-water EnsureHandles value).
+func (q *Queue) P() int { return int(q.p.Load()) }
 
-// NumQueues returns the number of sub-queues (c·p).
-func (q *Queue) NumQueues() int { return len(q.qs) }
+// NumQueues returns the current number of sub-queues (c·P).
+func (q *Queue) NumQueues() int { return len(q.queues()) }
 
 // Handle implements pq.Queue. Engineered queues (stickiness or buffering
 // enabled) hand out buffered handles and register them so sweep/Len/PeekMin
@@ -155,11 +204,11 @@ var _ pq.Peeker = (*Handle)(nil)
 // random sub-queue instead of spinning (a single contended handle must not
 // livelock when c·p is small).
 func (h *Handle) Insert(key, value uint64) {
-	q := h.q
-	n := uint64(len(q.qs))
+	qs := h.q.queues()
+	n := uint64(len(qs))
 	it := pq.Item{Key: key, Value: value}
 	for attempt := 0; attempt < insertTryLimit; attempt++ {
-		s := &q.qs[h.rng.Uintn(n)]
+		s := qs[h.rng.Uintn(n)]
 		// Failpoint: a forced try-lock failure redirects the insert to
 		// another sub-queue, like a genuinely contended lock.
 		if !chaos.ShouldFail(chaos.MQLock) && s.mu.TryLock() {
@@ -169,7 +218,7 @@ func (h *Handle) Insert(key, value uint64) {
 			return
 		}
 	}
-	s := &q.qs[h.rng.Uintn(n)]
+	s := qs[h.rng.Uintn(n)]
 	chaos.Perturb(chaos.MQLock)
 	s.mu.Lock()
 	s.heap.Push(it)
@@ -177,19 +226,19 @@ func (h *Handle) Insert(key, value uint64) {
 	s.mu.Unlock()
 }
 
-// sampleTwo draws two distinct uniform sub-queue indices (branch-free
-// distinct sampling: the second index is an independent uniform draw over
-// the n-1 queues that are not the first) and returns the index with the
-// smaller cached minimum along with that minimum (emptyKey when both
-// sampled queues look empty).
-func (q *Queue) sampleTwo(r *rng.Xoroshiro) (int, uint64) {
-	n := uint64(len(q.qs))
+// sampleTwo draws two distinct uniform sub-queue indices over one snapshot
+// of the sub-queue set (branch-free distinct sampling: the second index is
+// an independent uniform draw over the n-1 queues that are not the first)
+// and returns the index with the smaller cached minimum along with that
+// minimum (emptyKey when both sampled queues look empty).
+func sampleTwo(qs []*subqueue, r *rng.Xoroshiro) (int, uint64) {
+	n := uint64(len(qs))
 	i := r.Uintn(n)
 	j := i
 	if n > 1 {
 		j = (i + 1 + r.Uintn(n-1)) % n
 	}
-	mi, mj := q.qs[i].min.Load(), q.qs[j].min.Load()
+	mi, mj := qs[i].min.Load(), qs[j].min.Load()
 	if mj < mi {
 		return int(j), mj
 	}
@@ -201,13 +250,13 @@ func (q *Queue) sampleTwo(r *rng.Xoroshiro) (int, uint64) {
 // queue turned out empty (raced), resample; a full sweep over all
 // sub-queues decides emptiness.
 func (h *Handle) DeleteMin() (key, value uint64, ok bool) {
-	q := h.q
-	for attempt := 0; attempt < 3*len(q.qs); attempt++ {
-		pick, min := q.sampleTwo(h.rng)
+	qs := h.q.queues()
+	for attempt := 0; attempt < 3*len(qs); attempt++ {
+		pick, min := sampleTwo(qs, h.rng)
 		if min == emptyKey {
 			continue // both sampled queues look empty; resample
 		}
-		s := &q.qs[pick]
+		s := qs[pick]
 		if chaos.ShouldFail(chaos.MQLock) || !s.mu.TryLock() {
 			continue
 		}
@@ -233,37 +282,44 @@ func (h *Handle) sweep() (key, value uint64, ok bool) {
 // sweepSubqueues pops from the first non-empty sub-queue, scanning all of
 // them under their locks. It is pass one of the emptiness oracle; the
 // engineered variant follows it with a pass over the per-handle buffers.
+// An emptiness verdict is only valid for an unchanged sub-queue set: a
+// concurrent EnsureHandles may have published sub-queues this scan never
+// visited, so the scan retries until the set pointer holds still.
 func (q *Queue) sweepSubqueues() (key, value uint64, ok bool) {
-	for i := range q.qs {
-		s := &q.qs[i]
-		s.mu.Lock()
-		it, popped := s.heap.Pop()
-		if popped {
-			s.updateMin()
+	for {
+		ptr := q.qs.Load()
+		for _, s := range *ptr {
+			s.mu.Lock()
+			it, popped := s.heap.Pop()
+			if popped {
+				s.updateMin()
+			}
+			s.mu.Unlock()
+			if popped {
+				return it.Key, it.Value, true
+			}
 		}
-		s.mu.Unlock()
-		if popped {
-			return it.Key, it.Value, true
+		if q.qs.Load() == ptr {
+			return 0, 0, false
 		}
 	}
-	return 0, 0, false
 }
 
 // PeekMin reports the smallest cached minimum across sub-queues
 // (approximate under concurrency).
 func (h *Handle) PeekMin() (key, value uint64, ok bool) {
-	q := h.q
+	qs := h.q.queues()
 	best := uint64(emptyKey)
 	bestIdx := -1
-	for i := range q.qs {
-		if m := q.qs[i].min.Load(); m < best {
+	for i := range qs {
+		if m := qs[i].min.Load(); m < best {
 			best, bestIdx = m, i
 		}
 	}
 	if bestIdx < 0 {
 		return 0, 0, false
 	}
-	s := &q.qs[bestIdx]
+	s := qs[bestIdx]
 	s.mu.Lock()
 	it, found := s.heap.Min()
 	s.mu.Unlock()
@@ -275,13 +331,22 @@ func (h *Handle) PeekMin() (key, value uint64, ok bool) {
 
 // Len sums the sizes of all sub-queues under their locks, plus — for the
 // engineered variant — the contents of every handle's insertion and
-// deletion buffer (buffered items are still in the queue). Tests only.
+// deletion buffer (buffered items are still in the queue). Like
+// sweepSubqueues, the sub-queue pass retries if the set grew under it.
+// Tests only.
 func (q *Queue) Len() int {
 	total := 0
-	for i := range q.qs {
-		q.qs[i].mu.Lock()
-		total += q.qs[i].heap.Len()
-		q.qs[i].mu.Unlock()
+	for {
+		ptr := q.qs.Load()
+		total = 0
+		for _, s := range *ptr {
+			s.mu.Lock()
+			total += s.heap.Len()
+			s.mu.Unlock()
+		}
+		if q.qs.Load() == ptr {
+			break
+		}
 	}
 	for _, h := range q.snapshotHandles() {
 		h.mu.Lock()

@@ -130,19 +130,19 @@ func TestMinCacheTracksHeap(t *testing.T) {
 	q := New(1, 1)
 	h := q.Handle()
 	h.Insert(5, 0)
-	if m := q.qs[0].min.Load(); m != 5 {
+	if m := q.queues()[0].min.Load(); m != 5 {
 		t.Fatalf("cached min = %d, want 5", m)
 	}
 	h.Insert(3, 0)
-	if m := q.qs[0].min.Load(); m != 3 {
+	if m := q.queues()[0].min.Load(); m != 3 {
 		t.Fatalf("cached min = %d, want 3", m)
 	}
 	h.DeleteMin()
-	if m := q.qs[0].min.Load(); m != 5 {
+	if m := q.queues()[0].min.Load(); m != 5 {
 		t.Fatalf("cached min = %d, want 5", m)
 	}
 	h.DeleteMin()
-	if m := q.qs[0].min.Load(); m != uint64(emptyKey) {
+	if m := q.queues()[0].min.Load(); m != uint64(emptyKey) {
 		t.Fatalf("cached min = %d, want emptyKey", m)
 	}
 }

@@ -44,6 +44,16 @@ func ClaimedBound(name string, p int) (bound int, kind BoundKind) {
 		k, _ := strconv.Atoi(n[4:])
 		return k, BoundRelaxed
 	case n == "spray" || n == "spraylist":
+		// Checked form of the O(P·log³P) claim: C·P·log³(P+1) with C=32
+		// and P floored at 4. Below the floor the integer walk geometry
+		// (ceil'd jump widths, the +K height term, the claim-scan window)
+		// stops shrinking with P, so observed ranks sit in a
+		// small-constant regime the asymptotic formula undershoots; the
+		// floor keeps the pragmatic check honest there without loosening
+		// the bound where the asymptote is meaningful.
+		if p < 4 {
+			p = 4
+		}
 		lg := math.Log2(float64(p) + 1)
 		return int(32 * float64(p) * lg * lg * lg), BoundRelaxed
 	case n == "dlsm" || strings.HasPrefix(n, "multiq"):
@@ -51,6 +61,43 @@ func ClaimedBound(name string, p int) (bound int, kind BoundKind) {
 	default:
 		return 0, BoundStrict
 	}
+}
+
+// EffectiveP returns the handle count a pooled (dynamic-lifecycle) run's
+// relaxation bound should be judged against, given the pool's peak live
+// handle count and its total created count (pq.Pool.PeakLive, .Created).
+//
+// Release flushes a handle's buffers, so for structures whose relaxation
+// lives entirely in per-handle buffers a released handle holds no items and
+// only the peak concurrency widens the rank window: peakLive governs, and
+// the bound SHRINKS back when handles are released. Structures with
+// STRUCTURAL relaxation are the exception — state that persists past
+// Release and only ever grows:
+//
+//   - klsm<k>, dlsm: a released handle keeps its local LSM component
+//     (Flush returns only the shared-run buffer, by design), so every
+//     handle ever created contributes up to k items to the window. dlsm
+//     has no published bound, but the rule is stated so reports stay
+//     comparable.
+//   - spray: the walk geometry (height, max jump) is re-derived upward as
+//     the pool grows and never shrinks, so observed ranks reflect the
+//     largest handle count the structure was ever sized for.
+//
+// For both, created governs. Pool-mode harnesses construct such queues
+// with Threads=1 and let pq.Pool's Grower calls do the sizing, so created
+// really is the structure's size.
+func EffectiveP(name string, peakLive, created int) int {
+	if peakLive < 1 {
+		peakLive = 1
+	}
+	if created < peakLive {
+		created = peakLive
+	}
+	n := strings.ToLower(strings.TrimSpace(name))
+	if strings.HasPrefix(n, "klsm") || n == "dlsm" || n == "spray" || n == "spraylist" {
+		return created
+	}
+	return peakLive
 }
 
 // ViolationsAbove counts replayed deletions whose rank exceeded bound,

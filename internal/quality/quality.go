@@ -60,7 +60,20 @@ type Config struct {
 	OpBatch int
 	// Seed for reproducibility (0 → fixed default).
 	Seed uint64
+	// UsePool routes every handle — prefill and workers — through a
+	// pq.Pool with the elastic Acquire/Release lifecycle: each worker
+	// re-acquires its handle every poolChunk operations, so the live count
+	// breathes during the run. The Result then carries the pool's
+	// peak-live and created counts, and callers judge bounds against
+	// EffectiveP instead of a frozen thread count.
+	UsePool bool
 }
+
+// poolChunk is how many operations a pooled worker performs per
+// Acquire/Release cycle; small enough that a quality run exercises many
+// full lifecycles, large enough that pool traffic does not dominate the
+// log.
+const poolChunk = 512
 
 func (c Config) withDefaults() Config {
 	if c.Threads < 1 {
@@ -102,12 +115,38 @@ type Result struct {
 	// Histogram counts ranks in power-of-two buckets: bucket i counts
 	// ranks in [2^(i-1), 2^i) with bucket 0 counting rank 0... rank 1.
 	Histogram []uint64
+	// PoolPeakLive and PoolCreated are the handle pool's statistics for a
+	// UsePool run (zero otherwise); feed them to EffectiveP to get the
+	// handle count the claimed bound should be judged against.
+	PoolPeakLive int
+	PoolCreated  int
 }
 
 // Run executes one rank-error benchmark run and replays its log.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
-	q := cfg.NewQueue(cfg.Threads)
+	// Pool mode constructs the queue minimally sized: the pool's Grower
+	// calls (pq.Pool.newHandle) grow layout-elastic structures to the
+	// actual created-handle count, so EffectiveP judges the size the
+	// structure really reached rather than a frozen Threads.
+	constructP := cfg.Threads
+	if cfg.UsePool {
+		constructP = 1
+	}
+	q := cfg.NewQueue(constructP)
+
+	// Handle lifecycle: plain mode hands out one q.Handle per role and
+	// flushes it at the end; pool mode recycles handles through the
+	// elastic Acquire/Release lifecycle (Release flushes), with the cap
+	// sized so workers plus the prefill role can all hold one.
+	var pool *pq.Pool
+	acquire := func() pq.Handle { return q.Handle() }
+	release := func(h pq.Handle) { pq.Flush(h) }
+	if cfg.UsePool {
+		pool = pq.NewPool(q, pq.PoolOptions{MaxHandles: cfg.Threads + 1})
+		acquire = func() pq.Handle { return pool.Acquire() }
+		release = func(h pq.Handle) { pool.Release(h.(*pq.PooledHandle)) }
+	}
 
 	var seq atomic.Uint64
 	var nextID atomic.Uint64
@@ -115,7 +154,7 @@ func Run(cfg Config) Result {
 	// Prefill, logged.
 	prefillEvents := make([]Event, 0, cfg.Prefill)
 	{
-		h := q.Handle()
+		h := acquire()
 		r := rng.New(cfg.Seed ^ 0xd1b54a32d192ed03)
 		gen := keys.NewGenerator(cfg.KeyDist, r)
 		for i := 0; i < cfg.Prefill; i++ {
@@ -124,7 +163,7 @@ func Run(cfg Config) Result {
 			prefillEvents = append(prefillEvents, Event{Seq: seq.Add(1), ID: id, Key: k})
 			h.Insert(k, id)
 		}
-		pq.Flush(h)
+		release(h)
 	}
 
 	// Measured phase.
@@ -135,7 +174,7 @@ func Run(cfg Config) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := q.Handle()
+			h := acquire()
 			r := rng.New(cfg.Seed + uint64(w)*0x6a09e667f3bcc909)
 			gen := keys.NewGenerator(cfg.KeyDist, r)
 			policy := workload.ForWorkerBatched(cfg.Workload, w, cfg.Threads, cfg.InsertFrac, cfg.BatchSize, r)
@@ -145,6 +184,12 @@ func Run(cfg Config) Result {
 				b := cfg.OpBatch
 				kvs := make([]pq.KV, b)
 				for i := 0; i < cfg.OpsPerThread; i += b {
+					if pool != nil && i > 0 && i%poolChunk < b {
+						// Elastic lifecycle: give the handle back (flushing
+						// its buffers) and take one from the pool again.
+						release(h)
+						h = acquire()
+					}
 					if policy.Next() == workload.Insert {
 						// One stamp for the whole batch, taken BEFORE the call
 						// takes effect; the batch's items are mutually
@@ -170,6 +215,10 @@ func Run(cfg Config) Result {
 				}
 			} else {
 				for i := 0; i < cfg.OpsPerThread; i++ {
+					if pool != nil && i > 0 && i%poolChunk == 0 {
+						release(h)
+						h = acquire()
+					}
 					if policy.Next() == workload.Insert {
 						k := gen.Next()
 						id := nextID.Add(1)
@@ -190,8 +239,8 @@ func Run(cfg Config) Result {
 			// log is merged: items still sitting in a handle's buffers were
 			// logged as inserted but never deleted, and Flush returns them to
 			// the shared structure, so the replay neither loses nor
-			// duplicates items.
-			pq.Flush(h)
+			// duplicates items. (Pool mode: Release flushes.)
+			release(h)
 			logs[w] = local
 		}(w)
 	}
@@ -208,7 +257,12 @@ func Run(cfg Config) Result {
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
 
-	return Replay(all)
+	res := Replay(all)
+	if pool != nil {
+		res.PoolPeakLive = pool.PeakLive()
+		res.PoolCreated = pool.Created()
+	}
+	return res
 }
 
 // Replay runs a linear history against the order-statistics tree and

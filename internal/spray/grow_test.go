@@ -1,0 +1,78 @@
+package spray
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEnsureHandlesGrowsGeometry checks the Grower contract: growth
+// re-derives the walk geometry for the larger P (monotonically — a taller
+// start, never a shorter one), ignores shrinking requests, and leaves the
+// list contents untouched.
+func TestEnsureHandlesGrowsGeometry(t *testing.T) {
+	q := New(1)
+	h := q.Handle()
+	for k := uint64(0); k < 64; k++ {
+		h.Insert(k, k)
+	}
+	h1, j1 := q.Geometry()
+	q.EnsureHandles(64)
+	h2, j2 := q.Geometry()
+	if q.P() != 64 {
+		t.Fatalf("P after EnsureHandles(64) = %d, want 64", q.P())
+	}
+	if h2 < h1 {
+		t.Fatalf("spray height shrank on growth: %d -> %d", h1, h2)
+	}
+	if h2 == h1 && j2 <= j1 {
+		t.Fatalf("geometry unchanged by 64x growth: height %d jump %d -> %d", h1, j1, j2)
+	}
+	q.EnsureHandles(2) // never shrinks
+	if h3, _ := q.Geometry(); h3 != h2 {
+		t.Fatalf("geometry shrank on EnsureHandles(2): height %d -> %d", h2, h3)
+	}
+	for k := uint64(0); k < 64; k++ {
+		if _, _, ok := h.DeleteMin(); !ok {
+			t.Fatalf("DeleteMin %d reported empty after growth", k)
+		}
+	}
+}
+
+// TestGeometryGrowthUnderConcurrentWalks sprays while the geometry is
+// repeatedly re-derived; the packed publication must never hand a walk a
+// torn (height, maxJump) pair — which would surface as panics or lost
+// items. Run under -race in the make check matrix.
+func TestGeometryGrowthUnderConcurrentWalks(t *testing.T) {
+	q := New(1)
+	const workers, ops = 4, 1500
+	var wg sync.WaitGroup
+	deleted := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			for i := 0; i < ops; i++ {
+				h.Insert(uint64(w*ops+i), 0)
+				if _, _, ok := h.DeleteMin(); ok {
+					deleted[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for p := 2; p <= 128; p *= 2 {
+			q.EnsureHandles(p)
+		}
+	}()
+	wg.Wait()
+	total := 0
+	for _, d := range deleted {
+		total += d
+	}
+	if got, want := q.Len(), workers*ops-total; got != want {
+		t.Fatalf("Len=%d after concurrent growth, want %d", got, want)
+	}
+}

@@ -19,6 +19,7 @@ package spray
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"cpq/internal/chaos"
@@ -42,17 +43,22 @@ type Params struct {
 // (K=1, M=1, D=1).
 func DefaultParams() Params { return Params{K: 1, M: 1, D: 1} }
 
-// Queue is a SprayList.
+// Queue is a SprayList. The walk geometry is derived from the thread-count
+// parameter p at construction and re-derived when a handle pool grows past
+// it (EnsureHandles); height and maxJump are published together in one
+// packed atomic word so a concurrent walk never mixes the two halves of
+// different geometries.
 type Queue struct {
-	list    *skiplist.List
-	p       int // expected maximum number of concurrent threads
-	params  Params
-	height  int // spray starting height
-	maxJump int // per-level maximum jump length (inclusive)
-	seed    atomic.Uint64
+	list   *skiplist.List
+	p      atomic.Int32 // expected maximum number of concurrent threads
+	params Params
+	geom   atomic.Uint64 // height<<32 | maxJump, published by NewParams/EnsureHandles
+	seed   atomic.Uint64
+	growMu sync.Mutex // serializes EnsureHandles (p and geom move together)
 }
 
 var _ pq.Queue = (*Queue)(nil)
+var _ pq.Grower = (*Queue)(nil)
 
 // New returns an empty SprayList tuned for up to p concurrent threads with
 // default parameters. p < 1 is treated as 1.
@@ -69,9 +75,32 @@ func NewParams(p int, params Params) *Queue {
 	if params.M <= 0 {
 		params.M = 1
 	}
-	q := &Queue{list: skiplist.New(), p: p, params: params}
-	q.height, q.maxJump = sprayGeometry(p, params)
+	q := &Queue{list: skiplist.New(), params: params}
+	q.p.Store(int32(p))
+	q.geom.Store(packGeometry(sprayGeometry(p, params)))
 	return q
+}
+
+// EnsureHandles implements pq.Grower: re-derive the spray geometry when a
+// handle pool grows past the constructed thread parameter, so the
+// candidate-set size keeps tracking O(P·log³P) for the live P. The walk
+// reads one packed word, so growth never tears a walk's geometry.
+// Idempotent; never shrinks.
+func (q *Queue) EnsureHandles(p int) {
+	if p <= int(q.p.Load()) {
+		return
+	}
+	q.growMu.Lock()
+	defer q.growMu.Unlock()
+	if p <= int(q.p.Load()) {
+		return
+	}
+	q.geom.Store(packGeometry(sprayGeometry(p, q.params)))
+	q.p.Store(int32(p))
+}
+
+func packGeometry(height, maxJump int) uint64 {
+	return uint64(uint32(height))<<32 | uint64(uint32(maxJump))
 }
 
 // sprayGeometry derives the starting height H and the per-level maximum
@@ -103,12 +132,16 @@ func sprayGeometry(p int, params Params) (height, maxJump int) {
 // Name implements pq.Queue.
 func (q *Queue) Name() string { return "spray" }
 
-// P returns the thread-count parameter the spray geometry was derived from.
-func (q *Queue) P() int { return q.p }
+// P returns the thread-count parameter the spray geometry was derived from
+// (the constructor's value, or the high-water EnsureHandles value).
+func (q *Queue) P() int { return int(q.p.Load()) }
 
 // Geometry reports the derived (starting height, max jump) pair; exposed
 // for tests and the ablation benchmarks.
-func (q *Queue) Geometry() (height, maxJump int) { return q.height, q.maxJump }
+func (q *Queue) Geometry() (height, maxJump int) {
+	g := q.geom.Load()
+	return int(uint32(g >> 32)), int(uint32(g))
+}
 
 // Handle implements pq.Queue.
 func (q *Queue) Handle() pq.Handle {
@@ -205,9 +238,9 @@ func (h *Handle) sprayWalk() (landing skiplist.Node, ok bool) {
 	chaos.Perturb(chaos.SprayWalk)
 	q := h.q
 	curr := q.list.Head()
-	level := q.height
+	level, maxJump := q.Geometry() // one packed load: growth cannot tear it
 	for {
-		j := int(h.rng.Uintn(uint64(q.maxJump) + 1))
+		j := int(h.rng.Uintn(uint64(maxJump) + 1))
 		for ; j > 0 && !curr.IsNil(); j-- {
 			var next skiplist.Node
 			if curr.Height() > level {

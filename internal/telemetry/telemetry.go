@@ -158,6 +158,23 @@ const (
 	// one batched Add per worker run). Nonzero on a queue claimed to have
 	// a native batch path means the capability detection is broken.
 	BatchFallback
+	// PoolReuse counts Acquires served from a free-list (shard slot or
+	// overflow stack) rather than by creating a handle
+	// (pq/pool.go:Acquire). This is the hit path gated at 0 allocs/op.
+	PoolReuse
+	// PoolGrow counts handles created by the capped growth slow path
+	// (pq/pool.go:grow). Under steady churn this saturates at the cap and
+	// stops moving; continued growth means releases are not keeping up.
+	PoolGrow
+	// PoolSteal counts abandoned handles reclaimed by the pool — a wrapper
+	// became unreachable while acquired, its buffers were flushed back and
+	// the handle returned to the free list (pq/pool.go:reclaim).
+	PoolSteal
+	// PoolStarve counts Acquire wait rounds at the cap: every free-list
+	// probe failed and growth is exhausted, so the caller yielded
+	// (pq/pool.go:Acquire). A high rate means the cap is undersized for
+	// the live concurrency.
+	PoolStarve
 
 	// NumCounters bounds per-shard counter storage; not a counter itself.
 	NumCounters
@@ -190,6 +207,10 @@ var counterMeta = [NumCounters]struct{ name, help string }{
 	BatchInsertItems:  {"batch-insert-items", "items moved through native InsertN paths"},
 	BatchDeleteItems:  {"batch-delete-items", "items moved through native DeleteMinN paths"},
 	BatchFallback:     {"batch-fallback", "batched ops served by the scalar fallback loop"},
+	PoolReuse:         {"pool-reuse", "Acquires served from a free-list (zero-alloc hit path)"},
+	PoolGrow:          {"pool-grow", "handles created by the capped growth slow path"},
+	PoolSteal:         {"pool-steal", "abandoned handles reclaimed (flushed and re-pooled)"},
+	PoolStarve:        {"pool-starve", "Acquire wait rounds with free lists empty at the cap"},
 }
 
 // Name returns the counter's short table identifier, e.g. "slsm-republish".

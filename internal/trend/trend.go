@@ -1,0 +1,218 @@
+// Package trend diffs the BENCH_*.json series emitted by cmd/pqgrid:
+// per-cell MOps/s deltas between two reports, with a CI95 overlap test
+// deciding whether a delta is a regression, an improvement, or noise.
+//
+// The overlap test is deliberately conservative in both directions: a cell
+// counts as moved only when the two 95% confidence intervals are disjoint
+// — head.mean + head.ci < base.mean - base.ci (regression) or the mirror
+// (improvement). Single-rep reports carry CI95 = 0, which would turn every
+// run-to-run wiggle into a verdict; Diff marks such comparisons so callers
+// (cmd/pqtrend) can warn instead of failing the build on noise.
+package trend
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cell is one (queue, batch-width) grid cell of a loaded report; the JSON
+// field names match cmd/pqgrid's cellResult.
+type Cell struct {
+	Queue      string  `json:"queue"`
+	BatchWidth int     `json:"batch_width"`
+	MOpsMean   float64 `json:"mops_mean"`
+	MOpsCI95   float64 `json:"mops_ci95"`
+}
+
+// ChurnCell is one (queue, lifecycle) goroutine-churn cell.
+type ChurnCell struct {
+	Queue     string  `json:"queue"`
+	Lifecycle string  `json:"lifecycle"`
+	MOpsMean  float64 `json:"mops_mean"`
+	MOpsCI95  float64 `json:"mops_ci95"`
+}
+
+// Report is the subset of a BENCH_*.json document the trend analysis
+// needs. Unknown fields are ignored, so older and newer grid schemas load
+// alike (BENCH_6.json has no churn section; that is not an error).
+type Report struct {
+	Path      string      `json:"-"`
+	GitSHA    string      `json:"git_sha"`
+	Generated string      `json:"generated"`
+	Threads   int         `json:"threads"`
+	Prefill   int         `json:"prefill"`
+	Duration  string      `json:"duration"`
+	Reps      int         `json:"reps"`
+	Cells     []Cell      `json:"cells"`
+	Churn     []ChurnCell `json:"churn"`
+}
+
+// Load reads and decodes one BENCH_*.json report.
+func Load(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r.Path = path
+	return &r, nil
+}
+
+// Verdict is the outcome of one cell's CI95 overlap test.
+type Verdict string
+
+const (
+	// Regression: head's interval lies entirely below base's.
+	Regression Verdict = "REGRESSION"
+	// Improvement: head's interval lies entirely above base's.
+	Improvement Verdict = "improvement"
+	// Flat: the intervals overlap; the delta is not distinguishable from
+	// run-to-run noise at 95% confidence.
+	Flat Verdict = "~"
+)
+
+// Delta is one matched cell's movement between two reports.
+type Delta struct {
+	// Kind is "grid" or "churn"; Queue and Label identify the cell
+	// (Label is "w<width>" for grid cells, the lifecycle for churn cells).
+	Kind, Queue, Label string
+	BaseMean, BaseCI95 float64
+	HeadMean, HeadCI95 float64
+	// Ratio is HeadMean/BaseMean (0 when BaseMean is 0).
+	Ratio   float64
+	Verdict Verdict
+	// ZeroCI notes that at least one side has CI95 = 0 (single-rep run):
+	// the verdict then reflects raw ordering, not statistics.
+	ZeroCI bool
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%-5s %-14s %-6s %8.3f ±%.3f -> %8.3f ±%.3f  x%.3f  %s",
+		d.Kind, d.Queue, d.Label, d.BaseMean, d.BaseCI95, d.HeadMean, d.HeadCI95, d.Ratio, d.Verdict)
+}
+
+// judge applies the CI95 overlap test.
+func judge(baseMean, baseCI, headMean, headCI float64) Verdict {
+	switch {
+	case headMean+headCI < baseMean-baseCI:
+		return Regression
+	case headMean-headCI > baseMean+baseCI:
+		return Improvement
+	default:
+		return Flat
+	}
+}
+
+// Diff matches head's cells against base's by identity (queue + width for
+// the grid, queue + lifecycle for churn) and returns one Delta per matched
+// cell, in base's order, plus the identities present on only one side.
+func Diff(base, head *Report) (deltas []Delta, onlyBase, onlyHead []string) {
+	type id struct{ kind, queue, label string }
+	baseSeen := map[id]bool{}
+	mk := func(kind, queue, label string, bm, bc, hm, hc float64) Delta {
+		d := Delta{
+			Kind: kind, Queue: queue, Label: label,
+			BaseMean: bm, BaseCI95: bc, HeadMean: hm, HeadCI95: hc,
+			Verdict: judge(bm, bc, hm, hc),
+			ZeroCI:  bc == 0 || hc == 0,
+		}
+		if bm != 0 {
+			d.Ratio = hm / bm
+		}
+		return d
+	}
+
+	headGrid := map[id]Cell{}
+	for _, c := range head.Cells {
+		headGrid[id{"grid", c.Queue, fmt.Sprintf("w%d", c.BatchWidth)}] = c
+	}
+	headChurn := map[id]ChurnCell{}
+	for _, c := range head.Churn {
+		headChurn[id{"churn", c.Queue, c.Lifecycle}] = c
+	}
+
+	for _, b := range base.Cells {
+		k := id{"grid", b.Queue, fmt.Sprintf("w%d", b.BatchWidth)}
+		baseSeen[k] = true
+		h, ok := headGrid[k]
+		if !ok {
+			onlyBase = append(onlyBase, k.kind+" "+k.queue+" "+k.label)
+			continue
+		}
+		deltas = append(deltas, mk(k.kind, k.queue, k.label, b.MOpsMean, b.MOpsCI95, h.MOpsMean, h.MOpsCI95))
+	}
+	for _, b := range base.Churn {
+		k := id{"churn", b.Queue, b.Lifecycle}
+		baseSeen[k] = true
+		h, ok := headChurn[k]
+		if !ok {
+			onlyBase = append(onlyBase, k.kind+" "+k.queue+" "+k.label)
+			continue
+		}
+		deltas = append(deltas, mk(k.kind, k.queue, k.label, b.MOpsMean, b.MOpsCI95, h.MOpsMean, h.MOpsCI95))
+	}
+	for _, c := range head.Cells {
+		k := id{"grid", c.Queue, fmt.Sprintf("w%d", c.BatchWidth)}
+		if !baseSeen[k] {
+			onlyHead = append(onlyHead, k.kind+" "+k.queue+" "+k.label)
+		}
+	}
+	for _, c := range head.Churn {
+		k := id{"churn", c.Queue, c.Lifecycle}
+		if !baseSeen[k] {
+			onlyHead = append(onlyHead, k.kind+" "+k.queue+" "+k.label)
+		}
+	}
+	return deltas, onlyBase, onlyHead
+}
+
+// Regressions filters deltas down to the cells that regressed.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Verdict == Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Series finds the BENCH_*.json files under dir and returns their paths
+// ordered by numeric suffix (BENCH_2 before BENCH_10; non-numeric suffixes
+// sort after, lexically). An empty result is not an error.
+func Series(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		ni, oki := seriesIndex(matches[i])
+		nj, okj := seriesIndex(matches[j])
+		switch {
+		case oki && okj:
+			return ni < nj
+		case oki != okj:
+			return oki // numeric before non-numeric
+		default:
+			return matches[i] < matches[j]
+		}
+	})
+	return matches, nil
+}
+
+// seriesIndex extracts the numeric N from a .../BENCH_N.json path.
+func seriesIndex(path string) (int, bool) {
+	name := filepath.Base(path)
+	name = strings.TrimPrefix(name, "BENCH_")
+	name = strings.TrimSuffix(name, ".json")
+	n, err := strconv.Atoi(name)
+	return n, err == nil
+}

@@ -1,0 +1,138 @@
+package trend
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseJSON = `{
+  "git_sha": "aaaaaaa", "threads": 8, "prefill": 100000, "reps": 3,
+  "cells": [
+    {"queue": "multiq", "batch_width": 1, "mops_mean": 10.0, "mops_ci95": 0.5},
+    {"queue": "multiq", "batch_width": 8, "mops_mean": 16.0, "mops_ci95": 0.5},
+    {"queue": "linden", "batch_width": 1, "mops_mean": 4.0, "mops_ci95": 0.2}
+  ],
+  "churn": [
+    {"queue": "multiq", "lifecycle": "pool", "mops_mean": 8.0, "mops_ci95": 0.3}
+  ]
+}`
+
+const headJSON = `{
+  "git_sha": "bbbbbbb", "threads": 8, "prefill": 100000, "reps": 3,
+  "cells": [
+    {"queue": "multiq", "batch_width": 1, "mops_mean": 10.2, "mops_ci95": 0.5},
+    {"queue": "multiq", "batch_width": 8, "mops_mean": 12.0, "mops_ci95": 0.5},
+    {"queue": "klsm128", "batch_width": 1, "mops_mean": 3.0, "mops_ci95": 0.2}
+  ],
+  "churn": [
+    {"queue": "multiq", "lifecycle": "pool", "mops_mean": 9.5, "mops_ci95": 0.3}
+  ]
+}`
+
+func TestDiffVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	base, err := Load(writeReport(t, dir, "BENCH_1.json", baseJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := Load(writeReport(t, dir, "BENCH_2.json", headJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, onlyBase, onlyHead := Diff(base, head)
+
+	byLabel := map[string]Delta{}
+	for _, d := range deltas {
+		byLabel[d.Kind+"/"+d.Queue+"/"+d.Label] = d
+	}
+	// 10.0±0.5 -> 10.2±0.5: overlapping, flat.
+	if v := byLabel["grid/multiq/w1"].Verdict; v != Flat {
+		t.Errorf("multiq w1 verdict = %v, want %v", v, Flat)
+	}
+	// 16.0±0.5 -> 12.0±0.5: disjoint below, regression.
+	if v := byLabel["grid/multiq/w8"].Verdict; v != Regression {
+		t.Errorf("multiq w8 verdict = %v, want %v", v, Regression)
+	}
+	// 8.0±0.3 -> 9.5±0.3: disjoint above, improvement.
+	if v := byLabel["churn/multiq/pool"].Verdict; v != Improvement {
+		t.Errorf("churn pool verdict = %v, want %v", v, Improvement)
+	}
+	if got := byLabel["grid/multiq/w8"].Ratio; got < 0.74 || got > 0.76 {
+		t.Errorf("multiq w8 ratio = %v, want 0.75", got)
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "grid linden w1" {
+		t.Errorf("onlyBase = %v, want [grid linden w1]", onlyBase)
+	}
+	if len(onlyHead) != 1 || onlyHead[0] != "grid klsm128 w1" {
+		t.Errorf("onlyHead = %v, want [grid klsm128 w1]", onlyHead)
+	}
+	if regs := Regressions(deltas); len(regs) != 1 || regs[0].Label != "w8" {
+		t.Errorf("Regressions = %v, want one w8 entry", regs)
+	}
+}
+
+func TestDiffSelfIsFlat(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Load(writeReport(t, dir, "BENCH_1.json", baseJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, onlyBase, onlyHead := Diff(r, r)
+	if len(onlyBase) != 0 || len(onlyHead) != 0 {
+		t.Fatalf("self-diff mismatch: onlyBase=%v onlyHead=%v", onlyBase, onlyHead)
+	}
+	for _, d := range deltas {
+		if d.Verdict != Flat || d.Ratio != 1 {
+			t.Errorf("self-diff cell %v not flat: %v", d.Label, d)
+		}
+	}
+}
+
+func TestZeroCIMarksDelta(t *testing.T) {
+	dir := t.TempDir()
+	base, _ := Load(writeReport(t, dir, "a.json",
+		`{"cells":[{"queue":"q","batch_width":1,"mops_mean":10,"mops_ci95":0}]}`))
+	head, _ := Load(writeReport(t, dir, "b.json",
+		`{"cells":[{"queue":"q","batch_width":1,"mops_mean":9.9,"mops_ci95":0}]}`))
+	deltas, _, _ := Diff(base, head)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+	if !deltas[0].ZeroCI {
+		t.Error("single-rep comparison not marked ZeroCI")
+	}
+	// Raw ordering still judged — callers decide how seriously to take it.
+	if deltas[0].Verdict != Regression {
+		t.Errorf("verdict = %v, want %v (raw ordering)", deltas[0].Verdict, Regression)
+	}
+}
+
+func TestSeriesOrder(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_10.json", "BENCH_2.json", "BENCH_6.json"} {
+		writeReport(t, dir, name, `{}`)
+	}
+	got, err := Series(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BENCH_2.json", "BENCH_6.json", "BENCH_10.json"}
+	if len(got) != len(want) {
+		t.Fatalf("Series = %v", got)
+	}
+	for i := range want {
+		if filepath.Base(got[i]) != want[i] {
+			t.Errorf("Series[%d] = %s, want %s", i, filepath.Base(got[i]), want[i])
+		}
+	}
+}

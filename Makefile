@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist bench-grid bench-churn check chaos repro verify trend profile examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist bench-grid bench-churn bench-net pqd-smoke check chaos repro verify trend profile examples clean
 
 all: build vet test
 
@@ -30,12 +30,13 @@ race:
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/pq/ ./internal/core/ ./internal/multiq/ ./internal/skiplist/ ./internal/linden/ ./internal/spray/ ./internal/lotan/ ./internal/harness/ ./internal/quality/ ./internal/chaos/
+	$(GO) test -race ./internal/pq/ ./internal/core/ ./internal/multiq/ ./internal/skiplist/ ./internal/linden/ ./internal/spray/ ./internal/lotan/ ./internal/harness/ ./internal/quality/ ./internal/chaos/ ./internal/netpq/
 	$(GO) test -race -run TestPoolChurn .
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500 -batch 8
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500 -pool
 	$(GO) run ./cmd/pqgrid -smoke > /dev/null
+	$(GO) run ./cmd/pqload -smoke > /dev/null
 	$(GO) run ./cmd/pqtrend -q BENCH_6.json BENCH_6.json
 
 # Fault-injection stress pass: every registry queue under seeded schedule
@@ -77,6 +78,20 @@ bench-skiplist:
 # BENCH_7.json (MOps/s ±CI, allocs/op, handle accounting, git SHA).
 bench-grid:
 	$(GO) run ./cmd/pqgrid
+
+# The socket-path grid: pqload self-hosts an in-process pqd on a loopback
+# socket and measures the fig-4a cell through it (8 connections, batch 8,
+# 32 requests pipelined per connection), emitted as BENCH_8.json with
+# "net:"-prefixed cells so pqtrend keeps the regimes distinct. Point it at
+# a running server with ADDR=host:port.
+ADDR ?=
+bench-net:
+	$(GO) run ./cmd/pqload $(if $(ADDR),-addr $(ADDR))
+
+# End-to-end socket smoke (used by `make check`): self-hosted server on an
+# ephemeral port, a short pqload burst, clean shutdown, nonzero ops gate.
+pqd-smoke:
+	$(GO) run ./cmd/pqload -smoke > /dev/null
 
 # The goroutine-churn acceptance bench alone: pool vs naive lifecycle on
 # the churn acceptance queues, with abandonment, as a readable table.
@@ -128,6 +143,7 @@ examples:
 	$(GO) run ./examples/dessim
 	$(GO) run ./examples/branchbound
 	$(GO) run ./examples/pqsort
+	$(GO) run ./examples/orderbook -orders 5000
 
 clean:
 	$(GO) clean ./...

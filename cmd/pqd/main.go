@@ -1,0 +1,123 @@
+// Command pqd serves registry priority queues over TCP using the netpq
+// binary protocol (PROTOCOL.md). Any queue the cpq registry can build —
+// "klsm4096", "multiq-s4-b8", "linden", ... — becomes reachable from
+// other processes, and one server can host several independent instances
+// of a spec ("linden#bids", "linden#asks") for applications like the
+// limit-order book in examples/orderbook.
+//
+// Each connection serves one queue session: the Hello handshake names
+// the queue, the server acquires a pq.Pool handle for the connection,
+// and disconnecting releases it (flushing any buffered items back, so a
+// client crash never strands elements in a handle buffer). Requests
+// pipeline freely; responses are per-connection FIFO. Backpressure and
+// the slow-consumer eviction policy are described in DESIGN.md §7.
+//
+//	pqd                          # serve the full registry on 127.0.0.1:9410
+//	pqd -addr :9410 -queues klsm4096,multiq-s4-b8 -static
+//	pqd -telemetry               # print counter table on shutdown
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes,
+// live connections are dropped (their handles flush back), and the final
+// stats line — plus the telemetry counter table with -telemetry — goes
+// to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cpq"
+	"cpq/internal/cli"
+	"cpq/internal/netpq"
+	"cpq/internal/pq"
+	"cpq/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9410", "listen address")
+		defQ     = flag.String("queue", "", "default queue spec for Hello frames with an empty queue id")
+		preloadF = flag.String("queues", "", "comma-separated queue ids to instantiate at startup (e.g. klsm4096,linden#bids,linden#asks)")
+		static   = flag.Bool("static", false, "serve only preloaded queues; reject Hello frames naming anything else")
+		threads  = flag.Int("threads", 0, "handle-pool sizing hint per queue (0 = GOMAXPROCS)")
+		wq       = flag.Int("write-queue", 0, "per-connection response queue depth in frames (0 = default)")
+		stall    = flag.Duration("stall-timeout", 0, "slow-consumer eviction threshold (0 = default 5s)")
+		telemF   = flag.Bool("telemetry", false, "collect queue-internals counters; print the table on shutdown (DESIGN.md §5, §7)")
+	)
+	flag.Parse()
+	telemetry.Enabled = *telemF
+
+	opts := netpq.Options{
+		NewQueue: func(spec string, handles int) (pq.Queue, error) {
+			if *threads > 0 {
+				handles = *threads
+			}
+			return cpq.NewQueue(spec, cpq.Options{Threads: handles})
+		},
+		DefaultQueue: *defQ,
+		Preload:      cli.ParseList(*preloadF),
+		Static:       *static,
+		WriteQueue:   *wq,
+		StallTimeout: *stall,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "pqd: "+format+"\n", args...)
+		},
+	}
+	srv, err := netpq.NewServer(opts)
+	exitOn(err)
+	ln, err := net.Listen("tcp", *addr)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "pqd: listening on %s\n", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "pqd: %s, shutting down\n", s)
+		srv.Close()
+		<-done
+	case err := <-done:
+		// Listener failed underneath us; report and fall through to stats.
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pqd:", err)
+		}
+	}
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"pqd: conns=%d frames in/out=%d/%d items in/out=%d/%d stalls=%d drops=%d\n",
+		st.ConnsOpened, st.FramesIn, st.FramesOut, st.ItemsIn, st.ItemsOut,
+		st.WriteStalls, st.Drops)
+	if *telemF {
+		printTelemetry(telemetry.Capture())
+	}
+}
+
+// printTelemetry writes the nonzero counters in the pqbench table format:
+// the socket counters (net-*) plus whatever the served queues incremented.
+func printTelemetry(snap telemetry.Snapshot) {
+	if snap.Zero() {
+		fmt.Fprintln(os.Stderr, "pqd: telemetry: no events recorded")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "pqd: telemetry counters:")
+	for c := telemetry.Counter(0); c < telemetry.NumCounters; c++ {
+		if v := snap.Counts[c]; v != 0 {
+			fmt.Fprintf(os.Stderr, "  %-22s %12d  %s\n", c.Name(), v, c.Help())
+		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pqd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,258 @@
+// Command orderbook is a worked example of driving two priority-queue
+// instances as a limit order book — the classic application the paper's
+// strict queues exist for. Bids and asks are two queues of the same
+// spec: asks are min-ordered on price directly, bids are max-ordered by
+// negating the 32-bit price, and price-time priority falls out of
+// packing a per-book sequence number into the low key bits:
+//
+//	ask key = price<<32 | seq          (lowest price, then oldest, pops first)
+//	bid key = (^price & 0xffffffff)<<32 | seq
+//	value   = qty<<32 | orderID
+//
+// Matching needs no peek operation: the engine pops the best resting
+// order, tests whether the incoming price crosses it, and pushes it back
+// if not (or re-inserts the remainder after a partial fill). Pop-test-
+// pushback is exactly the access pattern a network queue supports, so
+// the same engine runs against either backend:
+//
+//	orderbook                      # in-process book on two linden instances
+//	orderbook -queue globallock    # any strict registry queue
+//	orderbook -addr 127.0.0.1:9410 # two pqd sessions: "<spec>#bids", "<spec>#asks"
+//
+// Strictness matters here: with a relaxed queue (multiq, spraylist) the
+// popped order is only approximately the best, so fills can violate
+// price-time priority — the demo refuses relaxed specs by default and
+// -relaxed-ok turns the refusal into a warning, which makes the
+// strict-vs-relaxed tradeoff of DESIGN.md §2 tangible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cpq"
+	"cpq/internal/netpq"
+	"cpq/internal/pq"
+	"cpq/internal/rng"
+)
+
+// bookSide is the minimal queue surface the matching engine needs; it is
+// satisfied by an in-process handle and by a netpq client session alike.
+type bookSide interface {
+	insert(key, value uint64)
+	// popMin removes the best resting order (smallest key) or reports
+	// an empty side.
+	popMin() (key, value uint64, ok bool)
+	close()
+}
+
+// localSide drives one in-process queue instance.
+type localSide struct {
+	q pq.Queue
+	h pq.Handle
+}
+
+func (s *localSide) insert(key, value uint64)             { s.h.Insert(key, value) }
+func (s *localSide) popMin() (key, value uint64, ok bool) { return s.h.DeleteMin() }
+func (s *localSide) close()                               { pq.Flush(s.h) }
+
+// netSide drives one pqd session ("spec#bids" or "spec#asks").
+type netSide struct{ c *netpq.Client }
+
+func (s *netSide) insert(key, value uint64) {
+	exitOn(s.c.Insert(key, value))
+}
+func (s *netSide) popMin() (key, value uint64, ok bool) {
+	key, value, ok, err := s.c.DeleteMin()
+	exitOn(err)
+	return key, value, ok
+}
+func (s *netSide) close() { s.c.Close() }
+
+// book is the matching engine over the two sides.
+type book struct {
+	bids, asks bookSide
+	seq        uint64 // per-book arrival counter (time priority)
+
+	trades      int
+	tradedQty   uint64
+	restingBids int
+	restingAsks int
+}
+
+const priceMask = 0xffffffff
+
+func bidKey(price uint32, seq uint64) uint64 { return uint64(^price)<<32 | (seq & priceMask) }
+func askKey(price uint32, seq uint64) uint64 { return uint64(price)<<32 | (seq & priceMask) }
+func bidPrice(key uint64) uint32             { return ^uint32(key >> 32) }
+func askPrice(key uint64) uint32             { return uint32(key >> 32) }
+func packOrder(qty uint32, id uint32) uint64 { return uint64(qty)<<32 | uint64(id) }
+func orderQty(value uint64) uint32           { return uint32(value >> 32) }
+func orderID(value uint64) uint32            { return uint32(value & priceMask) }
+
+// limit processes one incoming limit order: match against the opposite
+// side while the price crosses, rest any remainder on the own side.
+func (b *book) limit(isBid bool, price uint32, qty uint32, id uint32) {
+	opp, own := b.asks, b.bids
+	oppPrice, ownKey := askPrice, bidKey
+	crosses := func(restPrice uint32) bool { return restPrice <= price }
+	if !isBid {
+		opp, own = b.bids, b.asks
+		oppPrice, ownKey = bidPrice, askKey
+		crosses = func(restPrice uint32) bool { return restPrice >= price }
+	}
+
+	for qty > 0 {
+		key, value, ok := opp.popMin()
+		if !ok {
+			break // opposite side empty
+		}
+		if !crosses(oppPrice(key)) {
+			opp.insert(key, value) // best resting order doesn't cross: push back
+			break
+		}
+		restQty := orderQty(value)
+		fill := qty
+		if restQty < fill {
+			fill = restQty
+		}
+		b.trades++
+		b.tradedQty += uint64(fill)
+		qty -= fill
+		if restQty > fill {
+			// Partial fill: the remainder keeps its key, hence its
+			// price-time position.
+			opp.insert(key, packOrder(restQty-fill, orderID(value)))
+		} else if isBid {
+			b.restingAsks--
+		} else {
+			b.restingBids--
+		}
+	}
+	if qty > 0 {
+		b.seq++
+		own.insert(ownKey(price, b.seq), packOrder(qty, id))
+		if isBid {
+			b.restingBids++
+		} else {
+			b.restingAsks++
+		}
+	}
+}
+
+// bestQuote pops and pushes back each side's top of book.
+func (b *book) bestQuote() (bid, ask uint32, haveBid, haveAsk bool) {
+	if key, value, ok := b.bids.popMin(); ok {
+		bid, haveBid = bidPrice(key), true
+		b.bids.insert(key, value)
+	}
+	if key, value, ok := b.asks.popMin(); ok {
+		ask, haveAsk = askPrice(key), true
+		b.asks.insert(key, value)
+	}
+	return
+}
+
+func main() {
+	var (
+		spec      = flag.String("queue", "linden", "registry queue spec backing each book side")
+		addr      = flag.String("addr", "", "pqd server address (empty = in-process queues)")
+		orders    = flag.Int("orders", 20_000, "random limit orders to feed")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+		relaxedOK = flag.Bool("relaxed-ok", false, "allow relaxed queues (approximate matching) with a warning")
+	)
+	flag.Parse()
+
+	if !strictSpec(*spec) {
+		if !*relaxedOK {
+			fmt.Fprintf(os.Stderr,
+				"orderbook: %q is a relaxed queue; matching would only approximate price-time priority (pass -relaxed-ok to demo that anyway)\n", *spec)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "orderbook: warning: %q is relaxed; fills may violate price-time priority\n", *spec)
+	}
+
+	var b book
+	if *addr == "" {
+		b.bids = newLocalSide(*spec)
+		b.asks = newLocalSide(*spec)
+		fmt.Printf("orderbook: in-process, 2x %s\n", *spec)
+	} else {
+		b.bids = newNetSide(*addr, *spec+"#bids")
+		b.asks = newNetSide(*addr, *spec+"#asks")
+		fmt.Printf("orderbook: via pqd at %s, sessions %s#bids / %s#asks\n", *addr, *spec, *spec)
+	}
+	defer b.bids.close()
+	defer b.asks.close()
+
+	// Random walk around a mid price: each order is a limit within a
+	// small band of the drifting mid, equally likely bid or ask.
+	r := rng.New(*seed)
+	mid := uint32(10_000)
+	for i := 0; i < *orders; i++ {
+		isBid := r.Uint64()&1 == 0
+		off := uint32(r.Uint64() % 20)
+		price := mid - 10 + off
+		qty := uint32(1 + r.Uint64()%100)
+		b.limit(isBid, price, qty, uint32(i))
+		if i%97 == 0 { // drift the mid so the book keeps turning over
+			mid += uint32(r.Uint64()%5) - 2
+		}
+	}
+
+	bid, ask, haveBid, haveAsk := b.bestQuote()
+	fmt.Printf("orders=%d trades=%d traded_qty=%d resting: bids=%d asks=%d\n",
+		*orders, b.trades, b.tradedQty, b.restingBids, b.restingAsks)
+	switch {
+	case haveBid && haveAsk:
+		fmt.Printf("top of book: bid %d / ask %d (spread %d)\n", bid, ask, int64(ask)-int64(bid))
+		if ask <= bid {
+			fmt.Fprintln(os.Stderr, "orderbook: BOOK CROSSED — matching invariant violated")
+			os.Exit(1)
+		}
+	case haveBid:
+		fmt.Printf("top of book: bid %d / no asks\n", bid)
+	case haveAsk:
+		fmt.Printf("top of book: no bids / ask %d\n", ask)
+	default:
+		fmt.Println("book empty")
+	}
+	if b.trades == 0 {
+		fmt.Fprintln(os.Stderr, "orderbook: no trades executed (demo expects a crossing flow)")
+		os.Exit(1)
+	}
+}
+
+// strictSpec reports whether the registry spec names a queue with exact
+// delete-min semantics; relaxed families make matching approximate.
+func strictSpec(spec string) bool {
+	switch spec {
+	case "linden", "globallock", "heap", "lotan", "hunt", "mound", "cbpq",
+		"locksl", "lockedskiplist":
+		return true
+	default:
+		// The rest of the registry (multiq*, klsm*, slsm*, dlsm, spray)
+		// trades strictness for scalability.
+		return false
+	}
+}
+
+func newLocalSide(spec string) *localSide {
+	q, err := cpq.NewQueue(spec, cpq.Options{Threads: 2})
+	exitOn(err)
+	return &localSide{q: q, h: q.Handle()}
+}
+
+func newNetSide(addr, queueID string) *netSide {
+	c, err := netpq.Dial(addr, queueID)
+	exitOn(err)
+	return &netSide{c: c}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orderbook:", err)
+		os.Exit(1)
+	}
+}

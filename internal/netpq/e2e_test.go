@@ -1,0 +1,413 @@
+// End-to-end tests over real loopback TCP: the server, the client, the
+// pool-backed handle lifecycle and the backpressure policy, checked with
+// the chaos-style logged-drain item-conservation argument — every value
+// inserted through any connection is deleted exactly once across the
+// worker connections plus the post-phase drain, with its original key.
+package netpq_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cpq"
+	"cpq/internal/netpq"
+	"cpq/internal/pq"
+)
+
+func newLoopbackServer(t *testing.T, opts netpq.Options) (*netpq.Server, string) {
+	t.Helper()
+	opts.NewQueue = func(spec string, threads int) (pq.Queue, error) {
+		if threads < 16 {
+			threads = 16 // worker conns + drain conn headroom
+		}
+		return cpq.NewQueue(spec, cpq.Options{Threads: threads})
+	}
+	srv, err := netpq.NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// e2eKey derives the deterministic key a (worker, seq) pair inserts, so
+// the conservation check can also detect key corruption in flight.
+func e2eKey(value uint64) uint64 {
+	return (value*0x9e3779b97f4a7c15 ^ value>>29) & 0xffffffff
+}
+
+// TestEndToEndConservation runs 8 pipelined client connections against a
+// loopback server per queue flavor (buffered, relaxed, strict), then
+// drains through a fresh connection and balances the item books.
+func TestEndToEndConservation(t *testing.T) {
+	const (
+		workers  = 8
+		rounds   = 150
+		batch    = 8
+		pipeline = 4
+	)
+	for _, spec := range []string{"multiq-s4-b8", "klsm128", "linden"} {
+		t.Run(spec, func(t *testing.T) {
+			_, addr := newLoopbackServer(t, netpq.Options{WriteQueue: 8})
+			queueID := spec + "#e2e"
+
+			deleted := make([][]pq.KV, workers)
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c, err := netpq.Dial(addr, queueID)
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer c.Close()
+					// Alternate insert and delete batches, keeping
+					// `pipeline` requests in flight.
+					seq := uint64(0)
+					kvs := make([]pq.KV, batch)
+					nextReq := func(i int) error {
+						if i%2 == 0 {
+							for j := range kvs {
+								v := uint64(w)<<32 | seq
+								seq++
+								kvs[j] = pq.KV{Key: e2eKey(v), Value: v}
+							}
+							_, err := c.StartInsertN(kvs)
+							return err
+						}
+						_, err := c.StartDeleteMinN(batch)
+						return err
+					}
+					total := 2 * rounds
+					inFlight := 0
+					for i := 0; i < total || inFlight > 0; {
+						for inFlight < pipeline && i < total {
+							if err := nextReq(i); err != nil {
+								errs <- err
+								return
+							}
+							i++
+							inFlight++
+						}
+						r, err := c.Recv()
+						if err != nil {
+							errs <- err
+							return
+						}
+						inFlight--
+						if r.Err != nil {
+							errs <- r.Err
+							return
+						}
+						if r.Op == netpq.OpDeleteMin|netpq.RespBit {
+							deleted[w] = append(deleted[w], r.KVs...)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Workers disconnected: the server released their handles,
+			// flushing any buffered items (the pool's Release contract).
+			// A fresh connection must now see everything that remains.
+			drainC, err := netpq.Dial(addr, queueID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer drainC.Close()
+			var drained []pq.KV
+			dst := make([]pq.KV, netpq.MaxBatch)
+			for empties := 0; empties < 3; {
+				got, err := drainC.DeleteMinN(dst, netpq.MaxBatch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got == 0 {
+					empties++
+					continue
+				}
+				empties = 0
+				drained = append(drained, dst[:got]...)
+			}
+
+			// Conservation forensics: each worker inserted values
+			// w<<32|0 .. w<<32|rounds·batch-1, each with key e2eKey(v).
+			want := workers * rounds * batch
+			seen := make(map[uint64]int, want)
+			account := func(kv pq.KV, where string) {
+				if kv.Key != e2eKey(kv.Value) {
+					t.Fatalf("%s: value %#x carries key %#x, want %#x (key corruption)",
+						where, kv.Value, kv.Key, e2eKey(kv.Value))
+				}
+				w, s := kv.Value>>32, kv.Value&0xffffffff
+				if w >= workers || s >= uint64(rounds*batch) {
+					t.Fatalf("%s: phantom item %+v (never inserted)", where, kv)
+				}
+				seen[kv.Value]++
+			}
+			for w := range deleted {
+				for _, kv := range deleted[w] {
+					account(kv, fmt.Sprintf("worker %d", w))
+				}
+			}
+			for _, kv := range drained {
+				account(kv, "drain")
+			}
+			for v, n := range seen {
+				if n > 1 {
+					t.Fatalf("value %#x deleted %d times (duplicate)", v, n)
+				}
+			}
+			if len(seen) != want {
+				t.Fatalf("conservation: %d of %d items lost after flush+drain", want-len(seen), want)
+			}
+		})
+	}
+}
+
+// TestServerErrorFrames drives the protocol's error surface over a raw
+// connection: recoverable codes keep the connection alive, fatal codes
+// close it, exactly as PROTOCOL.md specifies.
+func TestServerErrorFrames(t *testing.T) {
+	_, addr := newLoopbackServer(t, netpq.Options{DefaultQueue: "klsm128"})
+
+	dial := func() net.Conn {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nc.Close() })
+		return nc
+	}
+	readFrame := func(nc net.Conn) (netpq.Frame, error) {
+		var f netpq.Frame
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		err := netpq.ReadFrame(nc, &f)
+		return f, err
+	}
+	expectErr := func(nc net.Conn, code uint16) {
+		t.Helper()
+		f, err := readFrame(nc)
+		if err != nil {
+			t.Fatalf("expected error frame, got transport error %v", err)
+		}
+		if f.Op != netpq.OpError || f.Count != code {
+			t.Fatalf("got op %#02x code %d (%s), want error code %d (%s)",
+				f.Op, f.Count, string(f.Payload), code, netpq.ErrCodeName(code))
+		}
+	}
+	expectClosed := func(nc net.Conn) {
+		t.Helper()
+		if _, err := readFrame(nc); err == nil {
+			t.Fatal("connection still open, want close")
+		} else if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			// A RST surfaces as a read error; any error means closed.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				t.Fatalf("connection still open (read timeout), want close")
+			}
+		}
+	}
+
+	t.Run("op before hello is fatal", func(t *testing.T) {
+		nc := dial()
+		nc.Write(netpq.AppendFrame(nil, netpq.Frame{Op: netpq.OpDeleteMin, Req: 1, Count: 1}))
+		expectErr(nc, netpq.ErrCodeState)
+		expectClosed(nc)
+	})
+	t.Run("bad version is fatal", func(t *testing.T) {
+		nc := dial()
+		wire := netpq.AppendFrame(nil, netpq.Frame{Op: netpq.OpHello, Req: 1, Count: netpq.Version})
+		wire[4] = netpq.Version + 9
+		nc.Write(wire)
+		expectErr(nc, netpq.ErrCodeVersion)
+		expectClosed(nc)
+	})
+	t.Run("undelimitable length is fatal", func(t *testing.T) {
+		nc := dial()
+		nc.Write([]byte{0, 0, 0, 2, 1, 1})
+		expectErr(nc, netpq.ErrCodeMalformed)
+		expectClosed(nc)
+	})
+	t.Run("oversized length is fatal", func(t *testing.T) {
+		nc := dial()
+		var pfx [4]byte
+		binary.BigEndian.PutUint32(pfx[:], netpq.MaxFrameLen+1)
+		nc.Write(pfx[:])
+		expectErr(nc, netpq.ErrCodeTooLarge)
+		expectClosed(nc)
+	})
+	t.Run("recoverable errors keep the session", func(t *testing.T) {
+		nc := dial()
+		// Hello for a nonsense queue: ErrCodeQueue, connection lives.
+		nc.Write(netpq.AppendFrame(nil, netpq.Frame{Op: netpq.OpHello, Req: 1, Count: netpq.Version, Payload: []byte("no-such-queue")}))
+		expectErr(nc, netpq.ErrCodeQueue)
+		// Retry Hello with the default queue: accepted.
+		nc.Write(netpq.AppendFrame(nil, netpq.Frame{Op: netpq.OpHello, Req: 2, Count: netpq.Version}))
+		f, err := readFrame(nc)
+		if err != nil || f.Op != netpq.OpHello|netpq.RespBit {
+			t.Fatalf("hello retry: %+v, %v", f, err)
+		}
+		if got := string(f.Payload); got != "klsm128" {
+			t.Fatalf("canonical queue = %q, want klsm128", got)
+		}
+		// Bad batch count: ErrCodeBadBatch, connection lives.
+		nc.Write(netpq.AppendFrame(nil, netpq.Frame{Op: netpq.OpDeleteMin, Req: 3, Count: 0}))
+		expectErr(nc, netpq.ErrCodeBadBatch)
+		// Unknown opcode: ErrCodeOpcode, connection lives.
+		nc.Write(netpq.AppendFrame(nil, netpq.Frame{Op: 0x7e, Req: 4}))
+		expectErr(nc, netpq.ErrCodeOpcode)
+		// Insert payload/count mismatch: ErrCodeMalformed, connection lives.
+		nc.Write(netpq.AppendFrame(nil, netpq.Frame{Op: netpq.OpInsert, Req: 5, Count: 2, Payload: make([]byte, netpq.KVLen)}))
+		expectErr(nc, netpq.ErrCodeMalformed)
+		// The session still works end to end.
+		nc.Write(netpq.AppendFrame(nil, netpq.Frame{Op: netpq.OpInsert, Req: 6, Count: 1,
+			Payload: netpq.AppendKVs(nil, []pq.KV{{Key: 13, Value: 37}})}))
+		f, err = readFrame(nc)
+		if err != nil || f.Op != netpq.OpInsert|netpq.RespBit || f.Count != 1 {
+			t.Fatalf("insert after errors: %+v, %v", f, err)
+		}
+		// Duplicate Hello: fatal.
+		nc.Write(netpq.AppendFrame(nil, netpq.Frame{Op: netpq.OpHello, Req: 7, Count: netpq.Version}))
+		expectErr(nc, netpq.ErrCodeState)
+		expectClosed(nc)
+	})
+}
+
+// TestClientRoundTrip exercises the synchronous client surface plus the
+// ping and stats opcodes against one server.
+func TestClientRoundTrip(t *testing.T) {
+	_, addr := newLoopbackServer(t, netpq.Options{DefaultQueue: "multiq-s4-b8"})
+	c, err := netpq.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.QueueName(); got != "multiq-s4-b8" {
+		t.Fatalf("QueueName = %q", got)
+	}
+	kvs := make([]pq.KV, 32)
+	for i := range kvs {
+		kvs[i] = pq.KV{Key: uint64(100 - i), Value: uint64(i)}
+	}
+	if err := c.InsertN(kvs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ping([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]pq.KV, 64)
+	total := 0
+	for total < len(kvs) {
+		got, err := c.DeleteMinN(dst, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == 0 {
+			break
+		}
+		total += got
+	}
+	if total != len(kvs) {
+		t.Fatalf("deleted %d of %d", total, len(kvs))
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ItemsIn != uint64(len(kvs)) || st.ItemsOut != uint64(total) || st.FramesIn == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSlowConsumerEviction pins the backpressure failure mode: a client
+// that sends requests but never reads responses must eventually be
+// evicted (net-drop), not anchor server memory forever. Small responses
+// can drip through the jammed socket as the kernel frees bytes, so the
+// pump requests max-batch deletes of a prefilled queue: a 16 KiB
+// response frame cannot complete through a zero-window trickle, the
+// responder write blocks, the bounded queue fills, and one enqueue
+// finally exceeds the stall timeout.
+func TestSlowConsumerEviction(t *testing.T) {
+	srv, addr := newLoopbackServer(t, netpq.Options{
+		DefaultQueue: "globallock",
+		WriteQueue:   2,
+		StallTimeout: 200 * time.Millisecond,
+	})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4096) // shrink the receive window so responses jam quickly
+	}
+	c, err := netpq.NewClient(nc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prefill through the session so delete responses are max-size.
+	kvs := make([]pq.KV, netpq.MaxBatch)
+	for i := range kvs {
+		kvs[i] = pq.KV{Key: uint64(i), Value: uint64(i)}
+	}
+	for b := 0; b < 64; b++ {
+		if err := c.InsertN(kvs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pump pipelined max-batch deletes and never Recv. The flush may
+	// itself block once the server jams, so it runs under a deadline and
+	// keeps probing until the eviction closes the connection.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nc.SetWriteDeadline(time.Now().Add(time.Second))
+			if _, err := c.StartDeleteMinN(netpq.MaxBatch); err != nil {
+				continue
+			}
+			if err := c.Flush(); err != nil {
+				continue
+			}
+		}
+	}()
+	defer close(stop)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		st := srv.Stats()
+		if st.Drops >= 1 {
+			if st.WriteStalls == 0 {
+				t.Fatal("eviction without a recorded write stall")
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no eviction after 15s: stats %+v", srv.Stats())
+}

@@ -1,0 +1,164 @@
+package netpq
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"cpq/internal/pq"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Op: OpHello, Req: 1, Count: Version, Payload: []byte("klsm4096")},
+		{Op: OpInsert, Req: 0xdeadbeef, Count: 2, Payload: AppendKVs(nil, []pq.KV{{Key: 1, Value: 2}, {Key: 3, Value: 4}})},
+		{Op: OpDeleteMin, Req: 7, Count: 8},
+		{Op: OpPing, Req: 0},
+		{Op: OpError, Req: 42, Count: ErrCodeBadBatch, Payload: []byte("nope")},
+		{Op: OpInsert, Req: 1, Count: MaxBatch, Payload: make([]byte, MaxPayload)},
+	}
+	for _, want := range cases {
+		wire := AppendFrame(nil, want)
+		got, n, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%#02x): %v", want.Op, err)
+		}
+		if n != len(wire) {
+			t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(wire))
+		}
+		if got.Op != want.Op || got.Req != want.Req || got.Count != want.Count || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+		}
+
+		// The streaming reader must agree with the buffer decoder.
+		var f Frame
+		if err := ReadFrame(bytes.NewReader(wire), &f); err != nil {
+			t.Fatalf("ReadFrame(%#02x): %v", want.Op, err)
+		}
+		if f.Op != want.Op || f.Req != want.Req || f.Count != want.Count || !bytes.Equal(f.Payload, want.Payload) {
+			t.Fatalf("ReadFrame mismatch: got %+v want %+v", f, want)
+		}
+	}
+}
+
+func TestDecodeFrameConcatenated(t *testing.T) {
+	a := Frame{Op: OpInsert, Req: 1, Count: 1, Payload: AppendKVs(nil, []pq.KV{{Key: 9, Value: 9}})}
+	b := Frame{Op: OpDeleteMin, Req: 2, Count: 4}
+	wire := AppendFrame(AppendFrame(nil, a), b)
+	got1, n1, err := DecodeFrame(wire)
+	if err != nil || got1.Op != OpInsert {
+		t.Fatalf("first frame: %+v, %v", got1, err)
+	}
+	got2, n2, err := DecodeFrame(wire[n1:])
+	if err != nil || got2.Op != OpDeleteMin || got2.Count != 4 {
+		t.Fatalf("second frame: %+v, %v", got2, err)
+	}
+	if n1+n2 != len(wire) {
+		t.Fatalf("consumed %d+%d of %d", n1, n2, len(wire))
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	valid := AppendFrame(nil, Frame{Op: OpPing, Req: 1, Payload: []byte("x")})
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(valid); cut++ {
+			if _, _, err := DecodeFrame(valid[:cut]); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+			}
+		}
+	})
+	t.Run("length below header", func(t *testing.T) {
+		wire := append([]byte(nil), valid...)
+		binary.BigEndian.PutUint32(wire, HeaderLen-1)
+		if _, _, err := DecodeFrame(wire); !errors.Is(err, ErrFrameTooSmall) {
+			t.Fatalf("err = %v, want ErrFrameTooSmall", err)
+		}
+		if err := ReadFrame(bytes.NewReader(wire), new(Frame)); !errors.Is(err, ErrFrameTooSmall) {
+			t.Fatalf("ReadFrame err = %v, want ErrFrameTooSmall", err)
+		}
+	})
+	t.Run("length above max", func(t *testing.T) {
+		wire := append([]byte(nil), valid...)
+		binary.BigEndian.PutUint32(wire, MaxFrameLen+1)
+		if _, _, err := DecodeFrame(wire); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+		}
+		if err := ReadFrame(bytes.NewReader(wire), new(Frame)); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("ReadFrame err = %v, want ErrFrameTooLarge", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		wire := append([]byte(nil), valid...)
+		wire[4] = Version + 1
+		if _, _, err := DecodeFrame(wire); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("stream ends mid frame", func(t *testing.T) {
+		err := ReadFrame(bytes.NewReader(valid[:len(valid)-1]), new(Frame))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("clean eof between frames", func(t *testing.T) {
+		if err := ReadFrame(bytes.NewReader(nil), new(Frame)); err != io.EOF {
+			t.Fatalf("err = %v, want io.EOF", err)
+		}
+	})
+}
+
+func TestKVCodec(t *testing.T) {
+	kvs := []pq.KV{{Key: 0, Value: ^uint64(0)}, {Key: 1 << 40, Value: 7}, {Key: 5, Value: 5}}
+	payload := AppendKVs(nil, kvs)
+	if len(payload) != len(kvs)*KVLen {
+		t.Fatalf("payload %d bytes, want %d", len(payload), len(kvs)*KVLen)
+	}
+	got, err := DecodeKVs(payload, len(kvs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range kvs {
+		if got[i] != kvs[i] {
+			t.Fatalf("kv %d: got %+v want %+v", i, got[i], kvs[i])
+		}
+	}
+	if _, err := DecodeKVs(payload, len(kvs)+1, nil); err == nil {
+		t.Fatal("count/payload mismatch not rejected")
+	}
+	if _, err := DecodeKVs(payload[:len(payload)-1], len(kvs), nil); err == nil {
+		t.Fatal("truncated payload not rejected")
+	}
+}
+
+// TestReadFrameReusesPayload pins the zero-copy contract: decoding a
+// smaller frame into the same Frame must not reallocate the payload.
+func TestReadFrameReusesPayload(t *testing.T) {
+	big := AppendFrame(nil, Frame{Op: OpInsert, Req: 1, Count: 4, Payload: make([]byte, 4*KVLen)})
+	small := AppendFrame(nil, Frame{Op: OpInsert, Req: 2, Count: 1, Payload: make([]byte, KVLen)})
+	var f Frame
+	if err := ReadFrame(bytes.NewReader(big), &f); err != nil {
+		t.Fatal(err)
+	}
+	bigCap := cap(f.Payload)
+	if err := ReadFrame(bytes.NewReader(small), &f); err != nil {
+		t.Fatal(err)
+	}
+	if cap(f.Payload) != bigCap {
+		t.Fatalf("payload reallocated: cap %d -> %d", bigCap, cap(f.Payload))
+	}
+}
+
+func TestErrCodeNames(t *testing.T) {
+	for code := uint16(1); code <= 8; code++ {
+		if name := ErrCodeName(code); name == "" || strings.HasPrefix(name, "code-") {
+			t.Fatalf("code %d has no name", code)
+		}
+	}
+	if name := ErrCodeName(200); name != "code-200" {
+		t.Fatalf("unknown code name = %q", name)
+	}
+}

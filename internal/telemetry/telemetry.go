@@ -175,6 +175,29 @@ const (
 	// (pq/pool.go:Acquire). A high rate means the cap is undersized for
 	// the live concurrency.
 	PoolStarve
+	// NetConnOpen counts connections accepted by the pqd service
+	// (netpq/server.go:Serve). The gap against the stats connsActive
+	// gauge is the churn rate.
+	NetConnOpen
+	// NetFrameIn counts request frames decoded off connections
+	// (netpq/server.go:dispatch). Divided into ops moved it yields the
+	// realized frame batching — the socket-path analogue of the
+	// batch-width histogram.
+	NetFrameIn
+	// NetFrameOut counts response frames handed to connection responders
+	// (netpq/server.go:respond). In a healthy run it tracks NetFrameIn
+	// one-to-one; a persistent gap means responses are queued behind a
+	// slow consumer.
+	NetFrameOut
+	// NetWriteStall counts dispatcher blocks on a full per-connection
+	// write queue (netpq/server.go:enqueue): the responder is not
+	// draining as fast as requests complete, so backpressure propagates
+	// to the client via the stalled read loop.
+	NetWriteStall
+	// NetDrop counts connections dropped by slow-consumer eviction: a
+	// single response stayed unqueueable for the whole stall timeout
+	// (netpq/server.go:enqueue).
+	NetDrop
 
 	// NumCounters bounds per-shard counter storage; not a counter itself.
 	NumCounters
@@ -211,6 +234,11 @@ var counterMeta = [NumCounters]struct{ name, help string }{
 	PoolGrow:          {"pool-grow", "handles created by the capped growth slow path"},
 	PoolSteal:         {"pool-steal", "abandoned handles reclaimed (flushed and re-pooled)"},
 	PoolStarve:        {"pool-starve", "Acquire wait rounds with free lists empty at the cap"},
+	NetConnOpen:       {"net-conn-open", "connections accepted by the pqd service"},
+	NetFrameIn:        {"net-frame-in", "request frames decoded off connections"},
+	NetFrameOut:       {"net-frame-out", "response frames handed to connection responders"},
+	NetWriteStall:     {"net-write-stall", "dispatcher blocks on a full per-connection write queue"},
+	NetDrop:           {"net-drop", "connections dropped by slow-consumer eviction"},
 }
 
 // Name returns the counter's short table identifier, e.g. "slsm-republish".

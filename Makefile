@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist bench-grid bench-churn bench-net pqd-smoke check chaos repro verify trend profile examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist bench-grid bench-churn bench-net bench-durable pqd-smoke durable check chaos repro verify trend profile examples clean
 
 all: build vet test
 
@@ -32,6 +32,7 @@ check:
 	$(GO) build ./...
 	$(GO) test -race ./internal/pq/ ./internal/core/ ./internal/multiq/ ./internal/skiplist/ ./internal/linden/ ./internal/spray/ ./internal/lotan/ ./internal/harness/ ./internal/quality/ ./internal/chaos/ ./internal/netpq/
 	$(GO) test -race -run TestPoolChurn .
+	$(MAKE) durable
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500 -batch 8
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500 -pool
@@ -92,6 +93,24 @@ bench-net:
 # ephemeral port, a short pqload burst, clean shutdown, nonzero ops gate.
 pqd-smoke:
 	$(GO) run ./cmd/pqload -smoke > /dev/null
+
+# Durability gate (used by `make check`): the WAL/snapshot/recovery suite
+# under the race detector, including the chaos checker over durable-
+# wrapped queues with the wal-fsync failpoint, the crash-capture test at
+# the fsync boundary, and the end-to-end kill/recover/conserve test that
+# SIGKILLs a durable pqd child mid-traffic and proves the restart
+# conserves every acknowledged item (DESIGN.md §8).
+durable:
+	$(GO) test -race -count=1 ./internal/durable/...
+	$(GO) test -race -count=1 -run TestKillRecoverConserve ./cmd/pqd/
+
+# The durable-tier acceptance bench: fig-4a cell over durable-wrapped
+# queues on a real file-backed WAL, group commit vs the fsync-per-op
+# naive baseline, with fsync accounting; batch width 8 mirrors the
+# socket grid so the tiers are comparable. Emitted as BENCH_9.json with
+# "dur:"/"dur-naive:" cells so pqtrend keeps the regimes distinct.
+bench-durable:
+	$(GO) run ./cmd/pqbench -durable -batch 8 -threads 1,2,4,8 -reps 3
 
 # The goroutine-churn acceptance bench alone: pool vs naive lifecycle on
 # the churn acceptance queues, with abandonment, as a readable table.

@@ -159,7 +159,7 @@ func BenchmarkTable5a(b *testing.B) { benchTable(b, workload.Alternating, keys.U
 func BenchmarkTable5b(b *testing.B) { benchTable(b, workload.Alternating, keys.Ascending) }
 func BenchmarkTable5c(b *testing.B) { benchTable(b, workload.Alternating, keys.Descending) }
 
-// --- Ablations (design-choice benches from DESIGN.md §9) -----------------
+// --- Ablations (design-choice benches from DESIGN.md §10) -----------------
 
 // AblationKLSMRelaxation sweeps the k-LSM's k, including k=16 which the
 // paper says behaves like the Lindén queue, on the headline cell (4a).

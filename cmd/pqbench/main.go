@@ -29,14 +29,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cpq"
 	"cpq/internal/cli"
+	"cpq/internal/durable"
 	"cpq/internal/harness"
 	"cpq/internal/keys"
 	"cpq/internal/pq"
@@ -70,6 +77,10 @@ func main() {
 		churnNv   = flag.Bool("churn-naive", false, "churn mode: use the naive mutex-guarded handle list instead of the pool (baseline)")
 		churnCap  = flag.Int("churn-cap", 0, "churn mode: pool handle cap (0 = slots+64; headroom amortizes one collector cycle over many abandonments)")
 		churnBur  = flag.Int("churn-burst", 0, "churn mode: ops per short-lived goroutine (0 = the harness default, 64)")
+		durableF  = flag.Bool("durable", false, "durable mode: benchmark the WAL tier, group commit vs the fsync-per-op naive baseline, and write -out (DESIGN.md §8)")
+		durDir    = flag.String("durable-dir", "", "durable mode: log directory (default ./pqbench-durable.tmp, removed afterward)")
+		durWin    = flag.Duration("commit-window", 0, "durable mode: group-commit dally window (0 = commit cohorts as they form)")
+		outF      = flag.String("out", "BENCH_9.json", "durable mode: JSON report path (empty = print table only)")
 	)
 	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
@@ -94,12 +105,30 @@ func main() {
 		threads = m.Threads // paper-machine preset, unless -threads overrides
 	}
 	queueNames := cpq.PaperNames()
+	if *durableF && *queuesF == "" {
+		// Durable cells pay a real fsync tax; default to a small cross-
+		// family set instead of the paper's seven.
+		queueNames = []string{"multiq-s4-b8", "klsm256", "linden"}
+	}
 	if *queuesF != "" {
 		queueNames = cli.ExpandQueues(cli.ParseList(*queuesF))
 	}
 	cli.ValidateQueues("pqbench", queueNames) // validate before burning benchmark time
 	cli.ValidateBatch("pqbench", *batch)
 	cli.ValidateBatch("pqbench", *altBatch)
+
+	if *durableF {
+		pre := *prefill
+		if !flagSet("prefill") {
+			// The default 10^6 prefill would log a million inserts before
+			// the first measured op; 10^4 keeps the WAL tax visible and
+			// the run short.
+			pre = 10_000
+		}
+		runDurableTable(queueNames, threads, wl, kd,
+			*duration, *reps, pre, *batch, *seed, *durWin, *durDir, *outF, *markdown)
+		return
+	}
 
 	if *churnN > 0 {
 		runChurnTable(queueNames, threads, wl, kd,
@@ -279,6 +308,200 @@ func runChurnTable(queueNames []string, slotCounts []int,
 		fmt.Print(table.String())
 	}
 	fmt.Println("# cells are MOps/s mean ±95% CI; h = handles created, s = abandoned handles stolen back (last rep)")
+}
+
+// durCell is one durable-mode grid cell of the BENCH_9.json report. The
+// queue name carries the mode prefix ("dur:" group commit, "dur-naive:"
+// fsync-per-op), so pqtrend diffs durable cells across reports exactly
+// like it diffs "net:" socket cells — by queue string.
+type durCell struct {
+	Queue       string  `json:"queue"`
+	BatchWidth  int     `json:"batch_width"`
+	MOpsMean    float64 `json:"mops_mean"`
+	MOpsCI95    float64 `json:"mops_ci95"`
+	Ops         uint64  `json:"ops"`
+	FsyncsPerOp float64 `json:"fsyncs_per_op"`
+	WALRecords  uint64  `json:"wal_records"`
+	WALFsyncs   uint64  `json:"wal_fsyncs"`
+	Snapshots   uint64  `json:"snapshots"`
+}
+
+// durReport is the BENCH_9.json document: the same envelope as the
+// socket report (BENCH_8.json) with mode "durable" and WAL accounting
+// per cell.
+type durReport struct {
+	GitSHA     string    `json:"git_sha"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	Figure     string    `json:"figure,omitempty"`
+	Mode       string    `json:"mode"`
+	Threads    int       `json:"threads"`
+	Workload   string    `json:"workload"`
+	KeyDist    string    `json:"key_dist"`
+	Prefill    int       `json:"prefill"`
+	Duration   string    `json:"duration"`
+	Reps       int       `json:"reps"`
+	Generated  string    `json:"generated"`
+	Cells      []durCell `json:"cells"`
+}
+
+// runDurableTable is the -durable mode: a threads × queue table where
+// every cell runs the throughput harness twice over a durable-wrapped
+// queue — once with group commit, once with the naive fsync-per-op
+// baseline — on a real file-backed WAL. Cells report MOps/s and
+// fsyncs per logged record; the JSON report carries the cells of the
+// largest thread count (the shape BENCH_8.json uses), so the grouping
+// win at full producer count is what the trend gate watches.
+func runDurableTable(queueNames []string, threads []int,
+	wl workload.Kind, kd keys.Distribution,
+	duration time.Duration, reps, prefill, batch int, seed uint64,
+	window time.Duration, dir, out string, markdown bool) {
+	if dir == "" {
+		dir = "pqbench-durable.tmp"
+	}
+	exitOn(os.MkdirAll(dir, 0o755))
+	defer os.RemoveAll(dir)
+
+	fmt.Printf("# durable workload=%s keys=%s prefill=%d duration=%v reps=%d batch=%d window=%v\n",
+		wl, kd, prefill, duration, reps, batch, window)
+
+	var table cli.Table
+	head := []string{"threads"}
+	for _, name := range queueNames {
+		head = append(head, "dur:"+name, "dur-naive:"+name)
+	}
+	table.AddRow(head...)
+
+	var ctr atomic.Uint64
+	var jsonCells []durCell
+	maxP := threads[len(threads)-1]
+	for _, p := range threads {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, name := range queueNames {
+			name := name
+			for _, naive := range []bool{false, true} {
+				var mu sync.Mutex
+				var queues []*durable.Queue
+				cfg := harness.Config{
+					NewQueue: func(t int) pq.Queue {
+						// A fresh directory per construction: a rep must
+						// not replay the previous rep's survivors.
+						sub := filepath.Join(dir, fmt.Sprintf("q%06d", ctr.Add(1)))
+						q, err := cpq.NewQueue(name, cpq.Options{
+							Threads: t,
+							Durable: &cpq.DurableOptions{
+								Dir:               sub,
+								GroupCommitWindow: window,
+								Naive:             naive,
+							},
+						})
+						exitOn(err)
+						mu.Lock()
+						queues = append(queues, q.(*durable.Queue))
+						mu.Unlock()
+						return q
+					},
+					Threads:  p,
+					Duration: duration,
+					Workload: wl,
+					KeyDist:  kd,
+					Prefill:  prefill,
+					OpBatch:  batch,
+					Seed:     seed,
+				}
+				s := harness.RunRepeated(cfg, reps)
+				var st durable.Stats
+				for _, dq := range queues {
+					if err := dq.Err(); err != nil {
+						exitOn(err)
+					}
+					qs := dq.Stats()
+					st.Records += qs.Records
+					st.Fsyncs += qs.Fsyncs
+					st.Snapshots += qs.Snapshots
+				}
+				fpo := 0.0
+				if st.Records > 0 {
+					fpo = float64(st.Fsyncs) / float64(st.Records)
+				}
+				row = append(row, fmt.Sprintf("%.3f ±%.3f f=%.3f",
+					s.Throughput.Mean, s.Throughput.CI95, fpo))
+				if p == maxP {
+					prefix := "dur:"
+					if naive {
+						prefix = "dur-naive:"
+					}
+					var ops uint64
+					for _, r := range s.Results {
+						ops += r.Ops
+					}
+					// fsyncs_per_op divides by harness ops (a batch of N
+					// counts as N), so the cell is comparable across batch
+					// widths; f in the table is per logged record.
+					perOp := 0.0
+					if ops > 0 {
+						perOp = float64(st.Fsyncs) / float64(ops)
+					}
+					jsonCells = append(jsonCells, durCell{
+						Queue: prefix + name, BatchWidth: batch,
+						MOpsMean: round3(s.Throughput.Mean), MOpsCI95: round3(s.Throughput.CI95),
+						Ops: ops, FsyncsPerOp: round3(perOp),
+						WALRecords: st.Records, WALFsyncs: st.Fsyncs,
+						Snapshots: st.Snapshots,
+					})
+				}
+			}
+		}
+		table.AddRow(row...)
+	}
+	if markdown {
+		fmt.Print(table.Markdown())
+	} else {
+		fmt.Print(table.String())
+	}
+	fmt.Println("# cells are MOps/s mean ±95% CI; f = fsyncs per logged WAL record (group commit amortizes, naive pins f=1)")
+
+	if out == "" {
+		return
+	}
+	figure := ""
+	if wl == workload.Uniform && kd == keys.Uniform32 {
+		figure = "4a"
+	}
+	doc := durReport{
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Figure:     figure,
+		Mode:       "durable",
+		Threads:    maxP,
+		Workload:   wl.String(),
+		KeyDist:    kd.String(),
+		Prefill:    prefill,
+		Duration:   duration.String(),
+		Reps:       reps,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Cells:      jsonCells,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	exitOn(err)
+	buf = append(buf, '\n')
+	exitOn(os.WriteFile(out, buf, 0o644))
+	fmt.Fprintf(os.Stderr, "pqbench: wrote %s\n", out)
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func round3(x float64) float64 {
+	return float64(int64(x*1000+0.5)) / 1000
 }
 
 // flagSet reports whether the named flag was explicitly provided.

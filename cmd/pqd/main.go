@@ -12,14 +12,24 @@
 // pipeline freely; responses are per-connection FIFO. Backpressure and
 // the slow-consumer eviction policy are described in DESIGN.md §7.
 //
+// With -durable DIR every served queue instance is wrapped in the
+// group-commit write-ahead log (DESIGN.md §8) under its own
+// subdirectory of DIR, keyed by the full queue id — "linden#bids" and
+// "linden#asks" recover independently. A restarted pqd pointed at the
+// same DIR replays each instance's snapshot and log tail before serving
+// it, so acknowledged items survive a crash of the daemon.
+//
 //	pqd                          # serve the full registry on 127.0.0.1:9410
 //	pqd -addr :9410 -queues klsm4096,multiq-s4-b8 -static
+//	pqd -durable /var/lib/pqd -queues linden#bids,linden#asks
 //	pqd -telemetry               # print counter table on shutdown
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
-// live connections are dropped (their handles flush back), and the final
-// stats line — plus the telemetry counter table with -telemetry — goes
-// to stderr.
+// live connections are dropped (their handles flush back), every queue
+// is closed — a durable queue takes its final snapshot and fsyncs here
+// — and the final stats line (plus the telemetry counter table with
+// -telemetry, plus any -cpuprofile/-memprofile/-trace output) goes out
+// before the process exits.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"cpq"
@@ -46,17 +57,43 @@ func main() {
 		threads  = flag.Int("threads", 0, "handle-pool sizing hint per queue (0 = GOMAXPROCS)")
 		wq       = flag.Int("write-queue", 0, "per-connection response queue depth in frames (0 = default)")
 		stall    = flag.Duration("stall-timeout", 0, "slow-consumer eviction threshold (0 = default 5s)")
+		durableF = flag.String("durable", "", "write-ahead log `dir`: wrap every served queue durably, one subdirectory per queue id")
+		window   = flag.Duration("commit-window", 0, "durable group-commit dally window (0 = commit cohorts as they form)")
+		snapEv   = flag.Int("snapshot-every", 0, "durable snapshot cadence in logged ops per queue (0 = default)")
 		telemF   = flag.Bool("telemetry", false, "collect queue-internals counters; print the table on shutdown (DESIGN.md §5, §7)")
+		prof     = cli.NewProfiler(flag.CommandLine)
 	)
 	flag.Parse()
 	telemetry.Enabled = *telemF
 
+	stopProf, err := prof.Start()
+	exitOn(err)
+	defer stopProf()
+	failf := func(err error) { // exitOn that flushes profiles first
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pqd:", err)
+			stopProf()
+			os.Exit(1)
+		}
+	}
+
 	opts := netpq.Options{
-		NewQueue: func(spec string, handles int) (pq.Queue, error) {
+		NewQueue: func(spec, id string, handles int) (pq.Queue, error) {
 			if *threads > 0 {
 				handles = *threads
 			}
-			return cpq.NewQueue(spec, cpq.Options{Threads: handles})
+			o := cpq.Options{Threads: handles}
+			if *durableF != "" {
+				// Key the log directory by the full id, not the spec:
+				// "linden#bids" and "linden#asks" must recover
+				// independently.
+				o.Durable = &cpq.DurableOptions{
+					Dir:               filepath.Join(*durableF, id),
+					GroupCommitWindow: *window,
+					SnapshotEvery:     *snapEv,
+				}
+			}
+			return cpq.NewQueue(spec, o)
 		},
 		DefaultQueue: *defQ,
 		Preload:      cli.ParseList(*preloadF),
@@ -68,9 +105,9 @@ func main() {
 		},
 	}
 	srv, err := netpq.NewServer(opts)
-	exitOn(err)
+	failf(err)
 	ln, err := net.Listen("tcp", *addr)
-	exitOn(err)
+	failf(err)
 	fmt.Fprintf(os.Stderr, "pqd: listening on %s\n", ln.Addr())
 
 	done := make(chan error, 1)
@@ -89,6 +126,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pqd:", err)
 		}
 	}
+	// Close every served queue after the handlers have drained: pools
+	// flush their handles back, and a -durable queue takes its final
+	// snapshot and fsyncs the log, so a graceful stop leaves a state
+	// that recovers without replaying any WAL tail.
+	closeErr := srv.CloseQueues()
+	if closeErr != nil {
+		fmt.Fprintln(os.Stderr, "pqd:", closeErr)
+	}
 
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr,
@@ -97,6 +142,10 @@ func main() {
 		st.WriteStalls, st.Drops)
 	if *telemF {
 		printTelemetry(telemetry.Capture())
+	}
+	if closeErr != nil {
+		stopProf() // flush profiles: os.Exit skips deferred calls
+		os.Exit(1)
 	}
 }
 

@@ -232,7 +232,7 @@ func main() {
 // selfHost starts an in-process pqd server on an ephemeral loopback port.
 func selfHost() (*netpq.Server, net.Listener) {
 	srv, err := netpq.NewServer(netpq.Options{
-		NewQueue: func(spec string, handles int) (pq.Queue, error) {
+		NewQueue: func(spec, _ string, handles int) (pq.Queue, error) {
 			return cpq.NewQueue(spec, cpq.Options{Threads: handles})
 		},
 	})

@@ -47,9 +47,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"cpq/internal/cbpq"
 	"cpq/internal/core"
+	"cpq/internal/durable"
 	"cpq/internal/hunt"
 	"cpq/internal/linden"
 	"cpq/internal/locksl"
@@ -187,7 +189,55 @@ type Options struct {
 	// SprayParams overrides the spray-walk tuning parameters for "spray"
 	// (nil selects the paper's defaults). Other queues ignore it.
 	SprayParams *spray.Params
+	// Durable, when non-nil, wraps the constructed queue in the durable
+	// tier (internal/durable): a group-commit write-ahead log plus
+	// periodic snapshots persisted under Durable.Dir, recovered on the
+	// next construction over the same directory. A malformed Durable
+	// configuration yields a *DurableError.
+	Durable *DurableOptions
 }
+
+// DurableOptions configures the durable tier for NewQueue. The zero value
+// is not valid: Dir is required.
+type DurableOptions struct {
+	// Dir is the directory the WAL segments and snapshots live in. One
+	// directory serves one queue; constructing over a non-empty directory
+	// replays its contents into the new queue first.
+	Dir string
+	// GroupCommitWindow is an optional dally the commit leader takes
+	// before claiming the pending log buffer, trading latency for larger
+	// commit cohorts. Zero is the sensible default.
+	GroupCommitWindow time.Duration
+	// SnapshotEvery takes a snapshot (and truncates the WAL) every that
+	// many logged operations; zero disables automatic snapshots (one is
+	// still taken on Close).
+	SnapshotEvery int
+	// SegmentBytes rotates the WAL to a fresh segment once the current
+	// one exceeds this size; zero selects the 1 MiB default.
+	SegmentBytes int
+	// Naive disables group commit — every operation fsyncs synchronously.
+	// The fsync-per-op baseline for benchmarks; never what a service
+	// wants.
+	Naive bool
+}
+
+// DurableError reports a durable-incompatible NewQueue request — a
+// malformed DurableOptions or a backend that could not be opened. Match
+// with errors.As; Unwrap exposes the backend cause when there is one.
+type DurableError struct {
+	Name   string // queue identifier of the request
+	Reason string
+	Err    error // backend cause, nil for pure validation failures
+}
+
+func (e *DurableError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("cpq: durable %q: %s: %v", e.Name, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("cpq: durable %q: %s", e.Name, e.Reason)
+}
+
+func (e *DurableError) Unwrap() error { return e.Err }
 
 func (o Options) threads() int {
 	if o.Threads < 1 {
@@ -212,8 +262,48 @@ func (e *UnknownQueueError) Error() string {
 // "linden", "spray", "multiq", "globallock", "lotan", "dlsm", "slsm256",
 // "hunt", "mound", "multiq-s4-b8". An unrecognized identifier yields an
 // *UnknownQueueError (match with errors.As); a recognized identifier with a
-// malformed parameter yields a plain error describing the parameter.
+// malformed parameter yields a plain error describing the parameter; a
+// malformed Options.Durable yields a *DurableError.
+//
+// With Options.Durable set, the returned queue is the durable wrapper:
+// its Name gains a "dur:" prefix, operations are write-ahead logged with
+// group commit, and Close (via cpq.Close) must be called to sync, take
+// the final snapshot and release the store.
 func NewQueue(name string, opts Options) (Queue, error) {
+	q, err := newBase(name, opts)
+	if err != nil || opts.Durable == nil {
+		return q, err
+	}
+	d := opts.Durable
+	var reason string
+	switch {
+	case d.Dir == "":
+		reason = "Dir is required"
+	case d.GroupCommitWindow < 0:
+		reason = "negative GroupCommitWindow"
+	case d.SnapshotEvery < 0:
+		reason = "negative SnapshotEvery"
+	case d.SegmentBytes < 0:
+		reason = "negative SegmentBytes"
+	}
+	if reason != "" {
+		return nil, &DurableError{Name: name, Reason: reason}
+	}
+	dq, err := durable.Wrap(q, durable.Options{
+		Dir:               d.Dir,
+		GroupCommitWindow: d.GroupCommitWindow,
+		SnapshotEvery:     d.SnapshotEvery,
+		SegmentBytes:      d.SegmentBytes,
+		Naive:             d.Naive,
+	})
+	if err != nil {
+		return nil, &DurableError{Name: name, Reason: "open durable store", Err: err}
+	}
+	return dq, nil
+}
+
+// newBase constructs the in-memory queue a registry identifier names.
+func newBase(name string, opts Options) (Queue, error) {
 	threads := opts.threads()
 	n := strings.ToLower(strings.TrimSpace(name))
 	switch {
@@ -289,6 +379,14 @@ func Flush(h Handle) { pq.Flush(h) }
 // the structure at hand. ok is false for non-peekable (or nil) v, and the
 // result is approximate under concurrency.
 func PeekMin(v any) (key, value uint64, ok bool) { return pq.PeekMin(v) }
+
+// Close tears down v — a Queue, Pool, or anything else a call site holds
+// at exit. Queues that hold resources beyond the heap (the durable tier's
+// WAL and store, a Pool's free lists and finalizers) flush and release
+// them; everything else (and nil) is a no-op returning nil. The
+// capability-checked form of pq.Closer, exactly as Flush is for Flusher,
+// so every call site can uniformly `defer cpq.Close(q)`.
+func Close(v any) error { return pq.Close(v) }
 
 // InsertN inserts every element of kvs through h in one call, using the
 // handle's native batch path where the structure has one (one lock

@@ -174,6 +174,7 @@ func main() {
 		t0 := time.Now()
 		best, explored := solve(items, q)
 		elapsed := time.Since(t0)
+		cpq.Close(q)
 		if i == 0 {
 			reference = best
 		}

@@ -86,6 +86,7 @@ func main() {
 			panic(err)
 		}
 		elapsed, inversions := runSim(q)
+		cpq.Close(q)
 		fmt.Printf("%-12s %12v %14.0f %d\n",
 			name, elapsed.Round(time.Millisecond),
 			float64(totalOps)/elapsed.Seconds(), inversions)

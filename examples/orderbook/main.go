@@ -55,7 +55,7 @@ type localSide struct {
 
 func (s *localSide) insert(key, value uint64)             { s.h.Insert(key, value) }
 func (s *localSide) popMin() (key, value uint64, ok bool) { return s.h.DeleteMin() }
-func (s *localSide) close()                               { pq.Flush(s.h) }
+func (s *localSide) close()                               { pq.Flush(s.h); pq.Close(s.q) }
 
 // netSide drives one pqd session ("spec#bids" or "spec#asks").
 type netSide struct{ c *netpq.Client }

@@ -107,6 +107,7 @@ func main() {
 		t0 := time.Now()
 		outs := pqSort(q, input)
 		elapsed := time.Since(t0)
+		cpq.Close(q)
 		var got []uint64
 		for _, o := range outs {
 			got = append(got, o...)

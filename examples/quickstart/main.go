@@ -14,6 +14,7 @@ import (
 func main() {
 	// --- Basic single-goroutine use -----------------------------------
 	q := cpq.NewKLSM(256) // relaxed: DeleteMin returns one of the k·P smallest
+	defer cpq.Close(q)    // nil-safe: a no-op unless the queue holds resources
 	h := q.Handle()       // one handle per goroutine
 	for _, key := range []uint64{42, 7, 99, 13} {
 		h.Insert(key, key*100) // (priority, payload)
@@ -40,6 +41,7 @@ func main() {
 		}
 		first, _, _ := h.DeleteMin()
 		fmt.Printf("  %-10s first DeleteMin after inserting 5..1: %d\n", q.Name(), first)
+		cpq.Close(q)
 	}
 
 	// --- Concurrent producers and consumers ---------------------------
@@ -104,6 +106,7 @@ func main() {
 		panic(err)
 	}
 	pool := cpq.NewPool(pq, cpq.PoolOptions{})
+	defer pool.Close() // flushes pooled handles, then closes the queue
 	const requests = 1000
 	done := make(chan struct{})
 	for r := 0; r < requests; r++ {

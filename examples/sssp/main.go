@@ -171,6 +171,7 @@ func main() {
 		t0 := time.Now()
 		dist, wasted := parallelSSSP(g, src, workers, q)
 		elapsed := time.Since(t0)
+		cpq.Close(q)
 		mismatches := 0
 		for i := range want {
 			if dist[i].Load() != want[i] {

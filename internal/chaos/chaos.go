@@ -124,6 +124,13 @@ const (
 	// reclamation between ownership transfer and the buffer flush,
 	// widening the window a conservation bug would need.
 	AcquireSteal
+	// WALFsync is the durable tier's group-commit barrier
+	// (durable/wal.go:commit), perturbed between writing the pending
+	// buffer to the store and fsyncing it — the worst crash window: bytes
+	// the OS may or may not have, acks not yet sent. The kill/recover
+	// test's crash-at-boundary mode exits the process here; a delay
+	// widens the window so more producers pile onto one commit ticket.
+	WALFsync
 
 	// NumFailpoints bounds per-failpoint state; not a failpoint itself.
 	NumFailpoints
@@ -144,6 +151,7 @@ var fpNames = [NumFailpoints]string{
 	LindenRestructure: "linden-restructure",
 	BatchPublish:      "batch-publish",
 	AcquireSteal:      "acquire-steal",
+	WALFsync:          "wal-fsync",
 }
 
 // String returns the failpoint's short identifier, e.g. "slsm-publish".

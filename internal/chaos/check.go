@@ -178,6 +178,7 @@ func Check(cfg CheckConfig) CheckResult {
 		constructP = 1
 	}
 	q := cfg.NewQueue(constructP)
+	defer pq.Close(q)
 	var seq, nextID atomic.Uint64
 
 	// Handle lifecycle: plain mode hands out q.Handle() per role and

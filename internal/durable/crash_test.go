@@ -1,0 +1,111 @@
+package durable_test
+
+import (
+	"sync"
+	"testing"
+
+	"cpq/internal/durable"
+	"cpq/internal/durable/kv"
+	"cpq/internal/pq"
+)
+
+// cloneInmem copies a store's full contents into a fresh Inmem — the
+// state a process dying at this instant would leave behind.
+func cloneInmem(t *testing.T, src *kv.Inmem) *kv.Inmem {
+	t.Helper()
+	dst := kv.NewInmem()
+	keys, err := src.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = dst.Update(func(tx kv.Tx) error {
+		for _, k := range keys {
+			v, _, err := src.Get(k)
+			if err != nil {
+				return err
+			}
+			tx.Set(k, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestCrashAtFsyncBoundary drives concurrent producers through a durable
+// queue whose WAL crash hook clones the store between the segment write
+// and the fsync — the worst possible crash instant: a cohort's records
+// are in the log but not yet acknowledged to anyone. Every capture must
+// replay cleanly (the tail is at most torn, never corrupt) to a set of
+// items that were genuinely produced, with no duplicates.
+func TestCrashAtFsyncBoundary(t *testing.T) {
+	const (
+		workers      = 4
+		opsPerWorker = 400
+		captureEvery = 8
+	)
+	store := kv.NewInmem()
+	q, err := durable.Wrap(newInner(t, "klsm128"), durable.Options{
+		Store:        store,
+		SegmentBytes: 1 << 12, // small segments: captures straddle rotations
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var captures []*kv.Inmem
+	var fsyncs int
+	var capMu sync.Mutex
+	q.SetCrashHook(func() {
+		capMu.Lock()
+		defer capMu.Unlock()
+		fsyncs++
+		if fsyncs%captureEvery == 0 && len(captures) < 64 {
+			captures = append(captures, cloneInmem(t, store))
+		}
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			for i := 0; i < opsPerWorker; i++ {
+				if i%4 == 3 {
+					h.DeleteMin()
+				} else {
+					v := uint64(w)<<32 | uint64(i)
+					h.Insert(v*2654435761%1_000_003, v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(captures) == 0 {
+		t.Fatalf("no captures taken in %d fsyncs; lower captureEvery", fsyncs)
+	}
+
+	for i, cap := range captures {
+		items, err := durable.ReplayStore(cap)
+		if err != nil {
+			t.Fatalf("capture %d: replay failed: %v", i, err)
+		}
+		seen := make(map[pq.KV]bool, len(items))
+		for _, it := range items {
+			w, seq := it.Value>>32, it.Value&0xffffffff
+			if w >= workers || seq >= opsPerWorker || seq%4 == 3 {
+				t.Fatalf("capture %d: phantom item %+v: no worker produced it", i, it)
+			}
+			if seen[it] {
+				t.Fatalf("capture %d: item %+v replayed twice", i, it)
+			}
+			seen[it] = true
+		}
+	}
+	t.Logf("%d captures across %d fsyncs replayed cleanly", len(captures), fsyncs)
+}

@@ -1,0 +1,466 @@
+package durable
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cpq/internal/durable/kv"
+	"cpq/internal/pq"
+	"cpq/internal/telemetry"
+)
+
+// Options configures a durable wrapper.
+type Options struct {
+	// Store is the backend to persist through. If nil, Dir must name a
+	// directory and an append-safe file store is opened there (and owned:
+	// Close closes it).
+	Store kv.Store
+	// Dir is where to open a kv file store when Store is nil.
+	Dir string
+	// GroupCommitWindow is an optional dally the commit leader takes
+	// before claiming the pending buffer, letting more producers join the
+	// cohort. Zero (the default) is right for most loads: parked
+	// producers pile up behind the in-flight fsync anyway.
+	GroupCommitWindow time.Duration
+	// SnapshotEvery takes a snapshot (logged drain, write, truncate WAL)
+	// every that many logged operations. Zero disables automatic
+	// snapshots; Snapshot can still be called explicitly and Close takes
+	// a final one.
+	SnapshotEvery int
+	// SegmentBytes rotates the WAL to a fresh segment once the current
+	// one exceeds this size. Default 1 MiB.
+	SegmentBytes int
+	// Naive disables group commit: every operation appends and fsyncs
+	// synchronously, serialized. This is the fsync-per-op baseline that
+	// EXPERIMENTS.md's durability walkthrough compares group commit
+	// against.
+	Naive bool
+}
+
+// Stats is a telemetry-independent view of the log's work.
+type Stats struct {
+	Records   uint64 // WAL records appended
+	Fsyncs    uint64 // durability barriers issued
+	Snapshots uint64 // snapshots taken
+}
+
+// Queue wraps an inner pq.Queue with WAL + snapshot durability. Every
+// mutating operation applies to the inner queue and appends its logged
+// effect to the WAL under one op mutex — so WAL order is operation order,
+// the invariant recovery replay is built on — then waits for durability
+// outside that mutex, where group commit amortizes the fsync across every
+// producer parked on the same ticket.
+//
+// The wrapper serializes the inner queue. That is deliberate: against a
+// real disk the fsync dominates an in-memory queue op by orders of
+// magnitude, so the concurrency that matters is overlapping producers'
+// *commit waits*, which the op mutex does not cover.
+//
+// Operations cannot return errors (pq.Handle's contract), so a store
+// failure poisons the log sticky and surfaces from Flush-on-handle, Err,
+// and Close. After Close, operations are silent no-ops.
+type Queue struct {
+	inner     pq.Queue
+	name      string
+	store     kv.Store
+	ownStore  bool
+	w         *wal
+	tel       *telemetry.Shard
+	snapEvery int
+
+	mu        sync.Mutex // the op mutex: inner op + WAL append, never the fsync
+	h         pq.Handle  // the only handle the inner queue ever sees
+	one       [1]pq.KV   // scratch for scalar ops; reused under mu
+	opsSince  int
+	nextSnap  uint64
+	snapshots atomic.Uint64
+	closed    bool
+	closeErr  error
+	drainBuf  []pq.KV // reused by snapshot drains
+}
+
+// Wrap opens (or recovers) a durable queue over inner. If the store
+// already holds state — a snapshot and/or WAL segments from a previous
+// process — it is replayed into inner before the queue accepts
+// operations, and logging continues in a fresh WAL segment (recovered
+// segments are never appended to).
+func Wrap(inner pq.Queue, opts Options) (*Queue, error) {
+	store := opts.Store
+	own := false
+	if store == nil {
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("durable: Options needs a Store or a Dir")
+		}
+		fs, err := kv.OpenFile(opts.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("durable: open file store: %w", err)
+		}
+		store = fs
+		own = true
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+
+	st, err := replayStore(store)
+	if err != nil {
+		if own {
+			store.Close()
+		}
+		return nil, fmt.Errorf("durable: recover: %w", err)
+	}
+
+	tel := telemetry.NewShard()
+	name := "dur:" + inner.Name()
+	if opts.Naive {
+		name = "dur-naive:" + inner.Name()
+	}
+	q := &Queue{
+		inner:     inner,
+		name:      name,
+		store:     store,
+		ownStore:  own,
+		w:         newWAL(store, st.nextSeg, opts.Naive, opts.GroupCommitWindow, opts.SegmentBytes, tel),
+		tel:       tel,
+		snapEvery: opts.SnapshotEvery,
+		h:         inner.Handle(),
+		nextSnap:  st.nextSnap,
+	}
+	if len(st.items) > 0 {
+		if telemetry.Enabled {
+			tel.Add(telemetry.DurReplayItems, uint64(len(st.items)))
+		}
+		for off := 0; off < len(st.items); off += 1 << 12 {
+			end := min(off+1<<12, len(st.items))
+			chunk := make([]pq.KV, end-off)
+			copy(chunk, st.items[off:end]) // InsertN may reorder; keep st.items intact
+			pq.InsertN(q.h, chunk)
+		}
+		pq.Flush(q.h)
+	}
+	return q, nil
+}
+
+// Name implements pq.Queue; the "dur:" prefix keeps durable cells
+// distinct in benchmark tables and trend diffs.
+func (q *Queue) Name() string { return q.name }
+
+// Handle implements pq.Queue. Durable handles are stateless forwarders —
+// all per-op state lives in the Queue, under its op mutex — so any number
+// of goroutines get the same durability semantics.
+func (q *Queue) Handle() pq.Handle { return &handle{q: q} }
+
+// Err reports the sticky store failure, if any.
+func (q *Queue) Err() error {
+	q.w.mu.Lock()
+	defer q.w.mu.Unlock()
+	return q.w.err
+}
+
+// Stats reports the log's work so far.
+func (q *Queue) Stats() Stats {
+	q.w.mu.Lock()
+	recs := q.w.appended
+	q.w.mu.Unlock()
+	return Stats{
+		Records:   recs,
+		Fsyncs:    q.w.fsyncs.Load(),
+		Snapshots: q.snapshots.Load(),
+	}
+}
+
+// Telemetry exposes the wrapper's counter shard so harnesses can merge it
+// into their tables.
+func (q *Queue) Telemetry() *telemetry.Shard { return q.tel }
+
+// insertN applies and logs an insert batch; returns the LSN to wait on.
+func (q *Queue) insertN(kvs []pq.KV) (uint64, bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, false
+	}
+	pq.InsertN(q.h, kvs) // may reorder kvs; the log wants the multiset, so that's fine
+	lsn := q.w.append(recInsert, kvs)
+	q.maybeSnapshotLocked()
+	q.mu.Unlock()
+	return lsn, true
+}
+
+// deleteMinN pops up to n items and logs exactly what came out; relaxed
+// inner queues pop nondeterministically, so replay re-applies the logged
+// effect rather than re-running the op.
+func (q *Queue) deleteMinN(dst []pq.KV, n int) (int, uint64, bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, 0, false
+	}
+	got := pq.DeleteMinN(q.h, dst, n)
+	if got == 0 {
+		q.mu.Unlock()
+		return 0, 0, false // nothing changed, nothing to make durable
+	}
+	lsn := q.w.append(recDelete, dst[:got])
+	q.maybeSnapshotLocked()
+	q.mu.Unlock()
+	return got, lsn, true
+}
+
+// maybeSnapshotLocked triggers the periodic snapshot. Called with q.mu
+// held, right after an op's record was appended.
+func (q *Queue) maybeSnapshotLocked() {
+	q.opsSince++
+	if q.snapEvery <= 0 || q.opsSince < q.snapEvery {
+		return
+	}
+	q.snapshotLocked()
+}
+
+// snapshotLocked seals the WAL (pending records synced, fresh segment),
+// drains the inner queue through its logged batch path, writes the
+// snapshot, truncates superseded segments, and reinserts the drained
+// items. q.mu held throughout: no operation can interleave, so the
+// snapshot is a consistent cut.
+func (q *Queue) snapshotLocked() {
+	nextSeg, err := q.w.seal()
+	if err != nil {
+		return // sticky error already recorded; surfaces via Err/Close
+	}
+	pq.Flush(q.h)
+	if cap(q.drainBuf) == 0 {
+		q.drainBuf = make([]pq.KV, 4096)
+	}
+	var items []pq.KV
+	for {
+		got := pq.DeleteMinN(q.h, q.drainBuf, len(q.drainBuf))
+		if got == 0 {
+			break
+		}
+		items = append(items, q.drainBuf[:got]...)
+	}
+	err = writeSnapshot(q.store, q.nextSnap, nextSeg, items)
+	if err != nil {
+		q.w.mu.Lock()
+		if q.w.err == nil {
+			q.w.err = err
+		}
+		q.w.mu.Unlock()
+	} else {
+		q.nextSnap++
+		q.snapshots.Add(1)
+		if telemetry.Enabled {
+			q.tel.Inc(telemetry.DurSnapshot)
+		}
+	}
+	// Reinsert whether or not the snapshot landed — the items must stay
+	// live either way (on failure the old snapshot + WAL still cover them).
+	for off := 0; off < len(items); off += 1 << 12 {
+		end := min(off+1<<12, len(items))
+		pq.InsertN(q.h, items[off:end])
+	}
+	q.opsSince = 0
+}
+
+// Snapshot forces a snapshot now (tests; pqd's graceful drain).
+func (q *Queue) Snapshot() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return q.closeErr
+	}
+	q.snapshotLocked()
+	return q.Err()
+}
+
+// Sync makes every operation logged so far durable (graceful drain).
+func (q *Queue) Sync() error {
+	q.mu.Lock()
+	if q.closed {
+		err := q.closeErr
+		q.mu.Unlock()
+		return err
+	}
+	q.mu.Unlock()
+	return q.w.barrier()
+}
+
+// Close implements pq.Closer: syncs the log, takes a final snapshot so
+// the next open recovers from a compact store, and releases the backend
+// if this wrapper opened it. Idempotent and nil-safe.
+func (q *Queue) Close() error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return q.closeErr
+	}
+	q.closed = true
+	q.snapshotLocked()
+	q.closeErr = q.Err()
+	if q.ownStore {
+		if err := q.store.Close(); err != nil && q.closeErr == nil {
+			q.closeErr = err
+		}
+	}
+	return q.closeErr
+}
+
+// handle forwards to the Queue. Implements the full capability set so
+// cpq.Flush/PeekMin/InsertN/DeleteMinN all behave.
+type handle struct {
+	q *Queue
+}
+
+// Insert implements pq.Handle.
+func (h *handle) Insert(key, value uint64) {
+	q := h.q
+	if q.w.naive {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		q.one[0] = pq.KV{Key: key, Value: value}
+		q.h.Insert(key, value)
+		q.w.logNaive(recInsert, q.one[:])
+		q.maybeSnapshotLocked()
+		q.mu.Unlock()
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.one[0] = pq.KV{Key: key, Value: value}
+	q.h.Insert(key, value)
+	lsn := q.w.append(recInsert, q.one[:])
+	q.maybeSnapshotLocked()
+	q.mu.Unlock()
+	q.w.commitWait(lsn)
+}
+
+// DeleteMin implements pq.Handle. The popped pair is logged before the
+// caller sees it: by the time DeleteMin returns, the removal is durable —
+// a restart cannot resurrect an acknowledged item.
+func (h *handle) DeleteMin() (key, value uint64, ok bool) {
+	q := h.q
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, 0, false
+	}
+	k, v, ok := q.h.DeleteMin()
+	if !ok {
+		q.mu.Unlock()
+		return 0, 0, false
+	}
+	q.one[0] = pq.KV{Key: k, Value: v}
+	if q.w.naive {
+		q.w.logNaive(recDelete, q.one[:])
+		q.maybeSnapshotLocked()
+		q.mu.Unlock()
+		return k, v, true
+	}
+	lsn := q.w.append(recDelete, q.one[:])
+	q.maybeSnapshotLocked()
+	q.mu.Unlock()
+	q.w.commitWait(lsn)
+	return k, v, true
+}
+
+// InsertN implements pq.BatchInserter: one WAL record, one commit ticket
+// for the whole batch.
+func (h *handle) InsertN(kvs []pq.KV) {
+	if len(kvs) == 0 {
+		return
+	}
+	q := h.q
+	for off := 0; off < len(kvs); off += maxBatch {
+		end := min(off+maxBatch, len(kvs))
+		if q.w.naive {
+			q.mu.Lock()
+			if q.closed {
+				q.mu.Unlock()
+				return
+			}
+			pq.InsertN(q.h, kvs[off:end])
+			q.w.logNaive(recInsert, kvs[off:end])
+			q.maybeSnapshotLocked()
+			q.mu.Unlock()
+			continue
+		}
+		lsn, ok := q.insertN(kvs[off:end])
+		if !ok {
+			return
+		}
+		q.w.commitWait(lsn)
+	}
+}
+
+// DeleteMinN implements pq.BatchDeleter.
+func (h *handle) DeleteMinN(dst []pq.KV, n int) int {
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n > maxBatch {
+		n = maxBatch
+	}
+	if n == 0 {
+		return 0
+	}
+	q := h.q
+	if q.w.naive {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return 0
+		}
+		got := pq.DeleteMinN(q.h, dst, n)
+		if got > 0 {
+			q.w.logNaive(recDelete, dst[:got])
+			q.maybeSnapshotLocked()
+		}
+		q.mu.Unlock()
+		return got
+	}
+	got, lsn, ok := q.deleteMinN(dst, n)
+	if !ok {
+		return 0
+	}
+	q.w.commitWait(lsn)
+	return got
+}
+
+// Flush implements pq.Flusher: publish inner buffers and make the log
+// durable — the handle-level graceful-drain hook harnesses already call.
+func (h *handle) Flush() {
+	q := h.q
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	pq.Flush(q.h)
+	q.mu.Unlock()
+	q.w.barrier()
+}
+
+// PeekMin implements pq.Peeker when the inner structure can peek.
+func (h *handle) PeekMin() (key, value uint64, ok bool) {
+	q := h.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, 0, false
+	}
+	if k, v, ok := pq.PeekMin(q.h); ok {
+		return k, v, true
+	}
+	return pq.PeekMin(q.inner)
+}

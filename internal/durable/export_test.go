@@ -1,0 +1,8 @@
+package durable
+
+// SetCrashHook installs fn in the WAL's worst crash window: after the
+// pending buffer has been written to the store, before it is fsynced.
+// Crash-capture tests clone the store there to model a process that died
+// at the exact commit boundary. Install before any operations run; the
+// hook is called serially (one commit leader at a time).
+func (q *Queue) SetCrashHook(fn func()) { q.w.crashHook = fn }

@@ -1,0 +1,322 @@
+package kv
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is the append-safe file-backed Store: one flat directory, one file
+// per key (key bytes outside [A-Za-z0-9._-] are %XX-escaped in the file
+// name, so "wal/0001" and "snap/0001" coexist in one directory).
+//
+// Durability discipline:
+//
+//   - Append writes through an O_APPEND descriptor that stays open per
+//     key; Sync fsyncs every descriptor appended since the last Sync —
+//     one fsync per dirty key, which for the WAL's single active segment
+//     means one fsync per group commit. Creating a key fsyncs the
+//     directory so the entry itself survives.
+//   - Update stages the batch, then applies every Set as write-temp,
+//     fsync, rename (per-key atomic: a crash leaves the old value or the
+//     new one, never a torn mix), fsyncs the directory, and only then
+//     applies the Deletes. That ordering is the contract recovery
+//     protocols build on: a new snapshot is fully durable before the WAL
+//     segments it supersedes disappear.
+//
+// A crash between Append and Sync may truncate the appended tail (and on
+// a real power loss, persist any prefix of it); it never disturbs bytes
+// that an earlier Sync covered.
+type File struct {
+	dir string
+
+	mu     sync.Mutex
+	open   map[string]*os.File // O_APPEND descriptors by key
+	dirty  map[string]struct{} // appended since last Sync
+	closed bool
+	syncs  uint64
+}
+
+// OpenFile opens (creating if needed) a file store rooted at dir.
+func OpenFile(dir string) (*File, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("kv: empty file store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &File{
+		dir:   dir,
+		open:  make(map[string]*os.File),
+		dirty: make(map[string]struct{}),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *File) Dir() string { return s.dir }
+
+// Syncs reports how many Sync barriers have completed (observability for
+// the fsyncs/op accounting; the WAL's telemetry counter is the primary
+// surface).
+func (s *File) Syncs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
+}
+
+// escapeKey maps a key to a file name, escaping every byte outside
+// [A-Za-z0-9._-] as %XX (including '%' itself and '/').
+func escapeKey(key string) string {
+	var b strings.Builder
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-' {
+			b.WriteByte(c)
+		} else {
+			fmt.Fprintf(&b, "%%%02x", c)
+		}
+	}
+	return b.String()
+}
+
+// unescapeKey reverses escapeKey; ok is false for names this store never
+// produced (stray files are skipped by List rather than failing it).
+func unescapeKey(name string) (string, bool) {
+	if !strings.ContainsRune(name, '%') {
+		return name, true
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(name) {
+			return "", false
+		}
+		var v int
+		if _, err := fmt.Sscanf(name[i+1:i+3], "%02x", &v); err != nil {
+			return "", false
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), true
+}
+
+func (s *File) path(key string) string { return filepath.Join(s.dir, escapeKey(key)) }
+
+// syncDir fsyncs the directory so renames, creations and removals are
+// themselves durable.
+func (s *File) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Get implements Store.
+func (s *File) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, false, errClosed
+	}
+	buf, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return buf, true, nil
+}
+
+// List implements Store.
+func (s *File) List(prefix string) ([]string, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, errClosed
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range ents {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		key, ok := unescapeKey(e.Name())
+		if !ok || !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// fileTx stages one Update batch.
+type fileTx struct {
+	s    *File
+	sets map[string][]byte
+	dels []string
+}
+
+func (tx *fileTx) Get(key string) ([]byte, bool, error) { return tx.s.Get(key) }
+func (tx *fileTx) List(prefix string) ([]string, error) { return tx.s.List(prefix) }
+func (tx *fileTx) Delete(key string)                    { tx.dels = append(tx.dels, key) }
+func (tx *fileTx) Set(key string, val []byte) {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	tx.sets[key] = cp
+}
+
+// Update implements Store: sets via write-temp/fsync/rename, a directory
+// fsync making them durable, then deletes, then a final directory fsync.
+func (s *File) Update(fn func(Tx) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	s.mu.Unlock()
+	// The callback runs unlocked: tx.Get/List take s.mu themselves.
+	tx := &fileTx{s: s, sets: make(map[string][]byte)}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	keys := make([]string, 0, len(tx.sets))
+	for k := range tx.sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst := s.path(k)
+		tmp := dst + ".tmp"
+		if err := writeFileSync(tmp, tx.sets[k]); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, dst); err != nil {
+			return err
+		}
+	}
+	if len(tx.sets) > 0 {
+		if err := s.syncDir(); err != nil {
+			return err
+		}
+	}
+	for _, k := range tx.dels {
+		if f, ok := s.open[k]; ok {
+			f.Close()
+			delete(s.open, k)
+			delete(s.dirty, k)
+		}
+		if err := os.Remove(s.path(k)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if len(tx.dels) > 0 {
+		if err := s.syncDir(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Append implements Store.
+func (s *File) Append(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	f, ok := s.open[key]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(s.path(key), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.open[key] = f
+		// New directory entry: make the name durable before its contents
+		// matter. (Cheap relative to the data fsyncs; once per segment.)
+		if err := s.syncDir(); err != nil {
+			return err
+		}
+	}
+	_, err := f.Write(data)
+	if err == nil {
+		s.dirty[key] = struct{}{}
+	}
+	return err
+}
+
+// Sync implements Store: fsync every descriptor appended since last Sync.
+func (s *File) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	for k := range s.dirty {
+		if f, ok := s.open[k]; ok {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+		delete(s.dirty, k)
+	}
+	s.syncs++
+	return nil
+}
+
+// Close implements Store.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, f := range s.open {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.open = nil
+	return first
+}

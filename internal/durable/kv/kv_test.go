@@ -1,0 +1,185 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// stores returns every Store implementation under a fresh root.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	f, err := OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return map[string]Store{"inmem": NewInmem(), "file": f}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, err := s.Get("missing"); err != nil || ok {
+				t.Fatalf("Get(missing) = ok=%v err=%v", ok, err)
+			}
+
+			// Append builds values incrementally; Get sees every byte.
+			if err := s.Append("wal/0001", []byte("abc")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if err := s.Append("wal/0001", []byte("def")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if err := s.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			v, ok, err := s.Get("wal/0001")
+			if err != nil || !ok || !bytes.Equal(v, []byte("abcdef")) {
+				t.Fatalf("Get after appends = %q ok=%v err=%v", v, ok, err)
+			}
+
+			// Update: sets and deletes land together; Tx reads pre-state.
+			err = s.Update(func(tx Tx) error {
+				if _, ok, _ := tx.Get("snap/0002"); ok {
+					t.Error("tx.Get sees a key that was never written")
+				}
+				tx.Set("snap/0002", []byte("snapshot"))
+				tx.Set("meta", []byte("m"))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+			if v, ok, _ := s.Get("snap/0002"); !ok || !bytes.Equal(v, []byte("snapshot")) {
+				t.Fatalf("Get(snap/0002) = %q ok=%v", v, ok)
+			}
+
+			// An erroring callback discards the whole batch.
+			wantErr := fmt.Errorf("boom")
+			if err := s.Update(func(tx Tx) error {
+				tx.Set("ghost", []byte("x"))
+				return wantErr
+			}); err != wantErr {
+				t.Fatalf("Update error = %v, want %v", err, wantErr)
+			}
+			if _, ok, _ := s.Get("ghost"); ok {
+				t.Fatal("discarded batch left a key behind")
+			}
+
+			// List: prefix-filtered, ascending.
+			if err := s.Append("wal/0003", []byte("x")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			keys, err := s.List("wal/")
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			if want := []string{"wal/0001", "wal/0003"}; !reflect.DeepEqual(keys, want) {
+				t.Fatalf("List(wal/) = %v, want %v", keys, want)
+			}
+
+			// Deletes through Update, including an appended key.
+			if err := s.Update(func(tx Tx) error {
+				tx.Delete("wal/0001")
+				tx.Delete("never-existed")
+				return nil
+			}); err != nil {
+				t.Fatalf("Update(delete): %v", err)
+			}
+			if _, ok, _ := s.Get("wal/0001"); ok {
+				t.Fatal("deleted key still readable")
+			}
+			if keys, _ := s.List("wal/"); !reflect.DeepEqual(keys, []string{"wal/0003"}) {
+				t.Fatalf("List after delete = %v", keys)
+			}
+
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if _, _, err := s.Get("meta"); err == nil {
+				t.Fatal("Get after Close did not error")
+			}
+		})
+	}
+}
+
+// TestFileReopen pins the property recovery depends on: a reopened file
+// store sees exactly what was appended and committed before.
+func TestFileReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("wal/00000001", []byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("wal/00000001", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(func(tx Tx) error { tx.Set("snap/00000001", []byte("S")); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	v, ok, err := r.Get("wal/00000001")
+	if err != nil || !ok || string(v) != "hello world" {
+		t.Fatalf("reopened Get = %q ok=%v err=%v", v, ok, err)
+	}
+	keys, err := r.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"snap/00000001", "wal/00000001"}; !reflect.DeepEqual(keys, want) {
+		t.Fatalf("reopened List = %v, want %v", keys, want)
+	}
+	// Appends continue where the previous process stopped.
+	if err := r.Append("wal/00000001", []byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := r.Get("wal/00000001"); string(v) != "hello world!" {
+		t.Fatalf("append after reopen = %q", v)
+	}
+}
+
+// TestKeyEscaping round-trips hostile key bytes through the file store's
+// name escaping.
+func TestKeyEscaping(t *testing.T) {
+	keys := []string{
+		"wal/0001", "a/b/c", "with space", "pct%sign", "dots..", "UPPER_lower-9",
+		"hash#tag", "unicodeé",
+	}
+	for _, k := range keys {
+		got, ok := unescapeKey(escapeKey(k))
+		if !ok || got != k {
+			t.Fatalf("escape round-trip of %q = %q ok=%v", k, got, ok)
+		}
+	}
+	f, err := OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i, k := range keys {
+		if err := f.Append(k, []byte{byte(i)}); err != nil {
+			t.Fatalf("Append(%q): %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		v, ok, err := f.Get(k)
+		if err != nil || !ok || len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("Get(%q) = %v ok=%v err=%v", k, v, ok, err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cpq/internal/durable/kv"
+	"cpq/internal/pq"
+)
+
+// recoveredState is what a store replay yields: the exact live multiset,
+// plus the bookkeeping indices the reopened queue continues from.
+type recoveredState struct {
+	items    []pq.KV // live set, sorted (key, then value) — deterministic
+	nextSeg  uint64  // first segment index the new WAL may write
+	nextSnap uint64  // next snapshot index to use
+}
+
+// replayStore reconstructs the live set from a store: newest intact
+// snapshot, then every WAL segment at or above its nextSeg, in order.
+// The recovery invariant (DESIGN.md §8d): because records were appended
+// under the queue's op mutex, log order is operation order, so the
+// multiset count of any (key,value) pair can never go negative during
+// replay — a delete record always follows the insert that produced the
+// item. A negative count therefore proves corruption, not reordering,
+// and replay fails loudly instead of guessing.
+//
+// A torn final record is tolerated only at the very end of the newest
+// segment — the one spot a crash between Append and Sync can legally
+// leave one. The operation it belonged to was never acknowledged, so
+// dropping it is correct.
+func replayStore(store kv.Store) (recoveredState, error) {
+	var st recoveredState
+
+	snaps, err := store.List("snap/")
+	if err != nil {
+		return st, err
+	}
+	counts := make(map[pq.KV]int)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		idx, ok := parseIndexed(snaps[i], "snap/")
+		if !ok {
+			continue
+		}
+		data, found, err := store.Get(snaps[i])
+		if err != nil {
+			return st, err
+		}
+		if !found {
+			continue
+		}
+		nextSeg, items, err := decodeSnapshot(data)
+		if err != nil {
+			return st, fmt.Errorf("snapshot %s: %w", snaps[i], err)
+		}
+		st.nextSeg = nextSeg
+		st.nextSnap = idx + 1
+		for _, it := range items {
+			counts[it]++
+		}
+		break
+	}
+
+	segs, err := store.List("wal/")
+	if err != nil {
+		return st, err
+	}
+	var live []uint64
+	for _, k := range segs {
+		if i, ok := parseIndexed(k, "wal/"); ok && i >= st.nextSeg {
+			live = append(live, i)
+		}
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a] < live[b] })
+
+	for n, idx := range live {
+		data, found, err := store.Get(segKey(idx))
+		if err != nil {
+			return st, err
+		}
+		if !found {
+			continue
+		}
+		err = decodeRecords(data, func(kind byte, kvs []pq.KV) error {
+			for _, it := range kvs {
+				if kind == recInsert {
+					counts[it]++
+				} else {
+					counts[it]--
+					if counts[it] < 0 {
+						return fmt.Errorf("%w: delete of (%d,%d) with no matching insert in segment %d",
+							ErrCorrupt, it.Key, it.Value, idx)
+					}
+					if counts[it] == 0 {
+						delete(counts, it)
+					}
+				}
+			}
+			return nil
+		})
+		if errors.Is(err, ErrTorn) && n == len(live)-1 {
+			err = nil // legal torn tail: unacknowledged final record dropped
+		}
+		if err != nil {
+			return st, fmt.Errorf("WAL segment %d: %w", idx, err)
+		}
+		if idx >= st.nextSeg {
+			st.nextSeg = idx + 1
+		}
+	}
+
+	st.items = make([]pq.KV, 0, len(counts))
+	for it, c := range counts {
+		for j := 0; j < c; j++ {
+			st.items = append(st.items, it)
+		}
+	}
+	sort.Slice(st.items, func(a, b int) bool {
+		if st.items[a].Key != st.items[b].Key {
+			return st.items[a].Key < st.items[b].Key
+		}
+		return st.items[a].Value < st.items[b].Value
+	})
+	return st, nil
+}
+
+// ReplayStore reconstructs the live item multiset a store holds, sorted
+// by (key, value) — the same deterministic order for identical stores,
+// which is what the kill/recover harness's byte-identical check relies
+// on. It is read-only: forensics can replay a copied directory while the
+// real store is live elsewhere.
+func ReplayStore(store kv.Store) ([]pq.KV, error) {
+	st, err := replayStore(store)
+	if err != nil {
+		return nil, err
+	}
+	return st.items, nil
+}

@@ -1,0 +1,108 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+
+	"cpq/internal/durable/kv"
+	"cpq/internal/pq"
+)
+
+// Snapshot format (DESIGN.md §8c), stored at "snap/%016x" with a
+// monotonically increasing index. All integers big-endian:
+//
+//	u64 nextSeg — first WAL segment NOT covered by this snapshot; replay
+//	              starts there
+//	u32 count   — number of live items
+//	count × (u64 key, u64 value)
+//	u32 crc     — IEEE CRC-32 over everything above
+//
+// The snapshot/truncate rule: the snapshot is written (durably, via
+// kv.Update's set-before-delete ordering) in the same batch that deletes
+// the segments below nextSeg and any older snapshots. A crash before the
+// batch leaves the old snapshot + full WAL (replay works); a crash after
+// leaves the new snapshot + tail (replay works); kv's per-key atomicity
+// means no in-between state mixes the two incompatibly — at worst both
+// snapshots and all segments coexist, and recovery picks the newest
+// snapshot whose segments are present.
+func encodeSnapshot(nextSeg uint64, items []pq.KV) []byte {
+	buf := make([]byte, 0, 8+4+len(items)*16+4)
+	buf = binary.BigEndian.AppendUint64(buf, nextSeg)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(items)))
+	for _, it := range items {
+		buf = binary.BigEndian.AppendUint64(buf, it.Key)
+		buf = binary.BigEndian.AppendUint64(buf, it.Value)
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+func decodeSnapshot(data []byte) (nextSeg uint64, items []pq.KV, err error) {
+	if len(data) < 8+4+4 {
+		return 0, nil, fmt.Errorf("%w: snapshot too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, crc := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != crc {
+		return 0, nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	nextSeg = binary.BigEndian.Uint64(body)
+	count := int(binary.BigEndian.Uint32(body[8:]))
+	if len(body) != 8+4+count*16 {
+		return 0, nil, fmt.Errorf("%w: snapshot count %d disagrees with length %d",
+			ErrCorrupt, count, len(data))
+	}
+	items = make([]pq.KV, count)
+	for i := range items {
+		p := body[8+4+i*16:]
+		items[i] = pq.KV{Key: binary.BigEndian.Uint64(p), Value: binary.BigEndian.Uint64(p[8:])}
+	}
+	return nextSeg, items, nil
+}
+
+func snapKey(i uint64) string { return fmt.Sprintf("snap/%016x", i) }
+
+// parseIndexed extracts the hex index from a "wal/%016x" or "snap/%016x"
+// key; ok is false for keys this package never wrote.
+func parseIndexed(key, prefix string) (uint64, bool) {
+	rest, found := strings.CutPrefix(key, prefix)
+	if !found || len(rest) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// writeSnapshot persists items as snapshot snapIdx covering everything
+// below nextSeg, and in the same batch truncates the superseded WAL
+// segments and older snapshots. kv.Update applies the sets before the
+// deletes, so the new snapshot is durable before anything it replaces
+// disappears.
+func writeSnapshot(store kv.Store, snapIdx, nextSeg uint64, items []pq.KV) error {
+	return store.Update(func(tx kv.Tx) error {
+		tx.Set(snapKey(snapIdx), encodeSnapshot(nextSeg, items))
+		segs, err := tx.List("wal/")
+		if err != nil {
+			return err
+		}
+		for _, k := range segs {
+			if i, ok := parseIndexed(k, "wal/"); ok && i < nextSeg {
+				tx.Delete(k)
+			}
+		}
+		snaps, err := tx.List("snap/")
+		if err != nil {
+			return err
+		}
+		for _, k := range snaps {
+			if i, ok := parseIndexed(k, "snap/"); ok && i < snapIdx {
+				tx.Delete(k)
+			}
+		}
+		return nil
+	})
+}

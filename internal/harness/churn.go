@@ -154,6 +154,7 @@ func RunChurn(cfg ChurnConfig) ChurnStats {
 	// Construct minimally sized: the pool grows layout-elastic structures
 	// (Grower) as it creates handles, which is the lifecycle under test.
 	q := cfg.NewQueue(1)
+	defer pq.Close(q)
 	pcfg := Config{
 		NewQueue: func(int) pq.Queue { return q },
 		Threads:  cfg.Slots,

@@ -125,6 +125,7 @@ type paddedCounter struct {
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	q := cfg.NewQueue(cfg.Threads)
+	defer pq.Close(q)
 	PrefillQueue(q, cfg)
 	var before telemetry.Snapshot
 	if telemetry.Enabled {
@@ -274,6 +275,7 @@ func RunOps(cfg Config, opsPerThread int) Result {
 		opsPerThread = 1
 	}
 	q := cfg.NewQueue(cfg.Threads)
+	defer pq.Close(q)
 	PrefillQueue(q, cfg)
 	var before telemetry.Snapshot
 	if telemetry.Enabled {

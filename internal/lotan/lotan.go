@@ -16,7 +16,7 @@
 // Registry identifier: "lotan"; strict at quiescence (cmd/pqverify checks
 // rank 0 within stamping slack). It shares internal/skiplist with linden
 // and spray, which makes it the exact-scan control in the spray-vs-scan
-// ablation (DESIGN.md §9): same substrate, strict head scan instead of a
+// ablation (DESIGN.md §10): same substrate, strict head scan instead of a
 // spray walk.
 package lotan
 

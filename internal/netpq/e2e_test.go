@@ -22,7 +22,7 @@ import (
 
 func newLoopbackServer(t *testing.T, opts netpq.Options) (*netpq.Server, string) {
 	t.Helper()
-	opts.NewQueue = func(spec string, threads int) (pq.Queue, error) {
+	opts.NewQueue = func(spec, _ string, threads int) (pq.Queue, error) {
 		if threads < 16 {
 			threads = 16 // worker conns + drain conn headroom
 		}

@@ -34,10 +34,14 @@ import (
 	"cpq/internal/telemetry"
 )
 
-// NewQueueFunc constructs a registry queue from its spec string; the
-// server is handed one (cpq.NewQueue adapted) instead of importing cpq,
-// which keeps netpq importable from inside the module's internal tree.
-type NewQueueFunc func(spec string, threads int) (pq.Queue, error)
+// NewQueueFunc constructs a registry queue. spec is the registry string
+// ("klsm256", "multiq-s4-b8"); id is the full queue id as served,
+// including any "#instance" tag ("linden#bids"), so a constructor that
+// attaches per-instance state — a durable log directory, most notably —
+// can key it by the instance, not just the spec. The server is handed a
+// func (cpq.NewQueue adapted) instead of importing cpq, which keeps
+// netpq importable from inside the module's internal tree.
+type NewQueueFunc func(spec, id string, threads int) (pq.Queue, error)
 
 // Options configures a Server. The zero value plus a NewQueue func is
 // usable: dynamic queue instantiation, default write-queue depth and
@@ -172,7 +176,7 @@ func (s *Server) queueFor(id string, construct bool) (*servedQueue, error) {
 	if !construct {
 		return nil, fmt.Errorf("netpq: queue %q not served (static server)", id)
 	}
-	q, err := s.opts.NewQueue(spec, 0)
+	q, err := s.opts.NewQueue(spec, id, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -263,6 +267,26 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// CloseQueues closes every served queue: each pool is closed (flushing
+// and disarming its handles, then closing the inner queue if it
+// implements pq.Closer — a durable queue takes its final snapshot and
+// syncs its log here). Call after Close has returned, when no handler
+// still holds a handle; the first error is returned, but every queue is
+// closed regardless.
+func (s *Server) CloseQueues() error {
+	s.mu.Lock()
+	queues := s.queues
+	s.queues = make(map[string]*servedQueue)
+	s.mu.Unlock()
+	var first error
+	for _, sq := range queues {
+		if err := sq.pool.Close(); err != nil && first == nil {
+			first = fmt.Errorf("netpq: closing queue %q: %w", sq.id, err)
+		}
+	}
+	return first
 }
 
 // conn is the per-connection state shared by dispatcher and responder.

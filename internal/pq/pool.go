@@ -101,6 +101,7 @@ type Pool struct {
 	peak    atomic.Int64  // high-water mark of live (feeds dynamic kP)
 	created atomic.Int64  // handles ever created (≤ max)
 	steals  atomic.Uint64 // abandoned handles reclaimed
+	closed  atomic.Bool   // Close ran; free lists drained, inner queue closed
 
 	tel *telemetry.Shard
 
@@ -383,6 +384,39 @@ func shardIndex() uint32 {
 	x := uint64(uintptr(unsafe.Pointer(&b)) >> 10)
 	x *= 0x9e3779b97f4a7c15
 	return uint32(x >> 33)
+}
+
+// Close implements Closer: teardown for the whole pooled stack. It drains
+// the free lists, flushes every freed handle's buffers into the shared
+// structure, disarms their reclaim finalizers, and closes the inner queue
+// (a no-op unless that queue holds resources — a durable wrapper's WAL,
+// for instance). Handles still acquired are the caller's bug: their items
+// are only recoverable through the finalizer steal, which Close does not
+// wait for. Idempotent and nil-safe; the pool must not be used after.
+func (p *Pool) Close() error {
+	if p == nil || !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	flushed := make(map[*PooledHandle]bool)
+	for i := range p.shards {
+		if h := p.shards[i].slot.Swap(nil); h != nil && !flushed[h] {
+			flushed[h] = true
+			runtime.SetFinalizer(h, nil)
+			Flush(h.inner)
+		}
+	}
+	for {
+		h := p.popOverflow()
+		if h == nil {
+			break
+		}
+		if !flushed[h] {
+			flushed[h] = true
+			runtime.SetFinalizer(h, nil)
+			Flush(h.inner)
+		}
+	}
+	return Close(p.q)
 }
 
 // Queue returns the queue the pool recycles handles of.

@@ -150,6 +150,27 @@ func SortKVs(kvs []KV) {
 	})
 }
 
+// Closer is implemented by queues that hold resources beyond the heap —
+// the durable tier's WAL descriptors, the handle pool's free lists and
+// finalizers. Close flushes whatever teardown requires (pending WAL
+// records reach the store; pooled handles are drained) and releases the
+// resources; the queue must not be used afterwards. Close is idempotent.
+type Closer interface {
+	Close() error
+}
+
+// Close tears down v, which may be a Queue or anything else a call site
+// holds. It is the capability-checked form of Closer, exactly as Flush is
+// for Flusher: a non-implementing or nil v is a no-op returning nil, so
+// every call site can `defer pq.Close(q)` without caring which of the
+// substrates it got.
+func Close(v any) error {
+	if c, ok := v.(Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // Flusher is implemented by handles that buffer operations locally (the
 // engineered MultiQueue's insertion/deletion buffers, the k-LSM's
 // shared-run buffer of items batch-taken from the SLSM pivot range). Flush

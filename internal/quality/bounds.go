@@ -36,6 +36,10 @@ func ClaimedBound(name string, p int) (bound int, kind BoundKind) {
 		p = 1
 	}
 	n := strings.ToLower(strings.TrimSpace(name))
+	// Durable wrappers (internal/durable) keep the inner structure's rank
+	// guarantee — logging neither reorders nor relaxes anything.
+	n = strings.TrimPrefix(n, "dur:")
+	n = strings.TrimPrefix(n, "dur-naive:")
 	switch {
 	case strings.HasPrefix(n, "klsm"):
 		k, _ := strconv.Atoi(n[4:])

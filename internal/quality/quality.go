@@ -134,6 +134,7 @@ func Run(cfg Config) Result {
 		constructP = 1
 	}
 	q := cfg.NewQueue(constructP)
+	defer pq.Close(q)
 
 	// Handle lifecycle: plain mode hands out one q.Handle per role and
 	// flushes it at the end; pool mode recycles handles through the

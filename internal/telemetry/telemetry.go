@@ -198,6 +198,24 @@ const (
 	// single response stayed unqueueable for the whole stall timeout
 	// (netpq/server.go:enqueue).
 	NetDrop
+	// DurWALAppend counts WAL records appended by the durable tier
+	// (durable/wal.go:append) — one per logged InsertN/DeleteMinN.
+	DurWALAppend
+	// DurFsync counts durability barriers issued against the backing
+	// store (durable/wal.go:commit). DurFsync/DurWALAppend is the
+	// fsyncs/op ratio group commit exists to push below 1.
+	DurFsync
+	// DurGroupJoin counts operations that rode another producer's fsync
+	// instead of issuing their own (durable/wal.go:commitWait). At high
+	// producer counts this should dominate DurFsync.
+	DurGroupJoin
+	// DurSnapshot counts snapshots taken (durable/snapshot.go:Snapshot):
+	// logged drain, snapshot write, WAL segment truncation.
+	DurSnapshot
+	// DurReplayItems counts live items reconstructed by crash recovery
+	// (durable/recover.go:replay) — snapshot items plus WAL-tail inserts
+	// minus logged deletes.
+	DurReplayItems
 
 	// NumCounters bounds per-shard counter storage; not a counter itself.
 	NumCounters
@@ -239,6 +257,11 @@ var counterMeta = [NumCounters]struct{ name, help string }{
 	NetFrameOut:       {"net-frame-out", "response frames handed to connection responders"},
 	NetWriteStall:     {"net-write-stall", "dispatcher blocks on a full per-connection write queue"},
 	NetDrop:           {"net-drop", "connections dropped by slow-consumer eviction"},
+	DurWALAppend:      {"dur-wal-append", "WAL records appended (one per logged batch op)"},
+	DurFsync:          {"dur-fsync", "durability barriers issued to the backing store"},
+	DurGroupJoin:      {"dur-group-join", "ops that rode another producer's fsync (group commit)"},
+	DurSnapshot:       {"dur-snapshot", "snapshots taken (drain, write, truncate WAL)"},
+	DurReplayItems:    {"dur-replay-items", "live items reconstructed by crash recovery"},
 }
 
 // Name returns the counter's short table identifier, e.g. "slsm-republish".

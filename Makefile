@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist bench-grid bench-churn bench-net bench-durable pqd-smoke durable check chaos repro verify trend profile examples clean
+.PHONY: all build test race vet bench bench-quick bench-engineered bench-klsm bench-skiplist bench-grid bench-churn bench-net bench-durable bench-recover pqd-smoke durable check chaos repro verify trend profile examples clean
 
 all: build vet test
 
@@ -38,7 +38,10 @@ check:
 	$(GO) run -race ./cmd/pqverify -chaos -ops 1500 -pool
 	$(GO) run ./cmd/pqgrid -smoke > /dev/null
 	$(GO) run ./cmd/pqload -smoke > /dev/null
+	$(GO) run ./cmd/pqbench -recover -recover-items 5000 -recover-ages 0,5000 \
+		-reps 2 -queues linden -out "" > /dev/null
 	$(GO) run ./cmd/pqtrend -q BENCH_6.json BENCH_6.json
+	$(GO) run ./cmd/pqtrend -q BENCH_9.json BENCH_10.json
 
 # Fault-injection stress pass: every registry queue under seeded schedule
 # perturbations and forced CAS/try-lock failures, with item-conservation,
@@ -96,21 +99,31 @@ pqd-smoke:
 
 # Durability gate (used by `make check`): the WAL/snapshot/recovery suite
 # under the race detector, including the chaos checker over durable-
-# wrapped queues with the wal-fsync failpoint, the crash-capture test at
-# the fsync boundary, and the end-to-end kill/recover/conserve test that
-# SIGKILLs a durable pqd child mid-traffic and proves the restart
+# wrapped queues with the wal-fsync failpoint, the crash-capture tests at
+# the fsync boundary and at every concurrent-snapshot phase boundary,
+# the producer-stall test, and the end-to-end kill/recover/conserve test
+# that SIGKILLs a durable pqd child mid-traffic and proves the restart
 # conserves every acknowledged item (DESIGN.md §8).
 durable:
 	$(GO) test -race -count=1 ./internal/durable/...
 	$(GO) test -race -count=1 -run TestKillRecoverConserve ./cmd/pqd/
 
 # The durable-tier acceptance bench: fig-4a cell over durable-wrapped
-# queues on a real file-backed WAL, group commit vs the fsync-per-op
-# naive baseline, with fsync accounting; batch width 8 mirrors the
-# socket grid so the tiers are comparable. Emitted as BENCH_9.json with
-# "dur:"/"dur-naive:" cells so pqtrend keeps the regimes distinct.
+# queues on a real WAL (mmap segments where the platform supports them),
+# group commit vs the fsync-per-op naive baseline, with fsync
+# accounting; batch width 8 mirrors the socket grid so the tiers are
+# comparable. Emitted with "dur:"/"dur-naive:" cells so pqtrend keeps
+# the regimes distinct.
 bench-durable:
 	$(GO) run ./cmd/pqbench -durable -batch 8 -threads 1,2,4,8 -reps 3
+
+# The durable acceptance grid plus the recovery-time curve in one
+# report: the bench-durable cells and "rec:" cells (cold-start replay
+# rate at several snapshot ages), emitted as BENCH_10.json. `make check`
+# gates the dur: cells of this report against BENCH_9.json.
+bench-recover:
+	$(GO) run ./cmd/pqbench -durable -recover -batch 8 -threads 1,2,4,8 \
+		-reps 5 -out BENCH_10.json
 
 # The goroutine-churn acceptance bench alone: pool vs naive lifecycle on
 # the churn acceptance queues, with abandonment, as a readable table.

@@ -36,6 +36,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,7 @@ import (
 	"cpq"
 	"cpq/internal/cli"
 	"cpq/internal/durable"
+	"cpq/internal/durable/kv"
 	"cpq/internal/harness"
 	"cpq/internal/keys"
 	"cpq/internal/pq"
@@ -80,7 +82,13 @@ func main() {
 		durableF  = flag.Bool("durable", false, "durable mode: benchmark the WAL tier, group commit vs the fsync-per-op naive baseline, and write -out (DESIGN.md §8)")
 		durDir    = flag.String("durable-dir", "", "durable mode: log directory (default ./pqbench-durable.tmp, removed afterward)")
 		durWin    = flag.Duration("commit-window", 0, "durable mode: group-commit dally window (0 = commit cohorts as they form)")
-		outF      = flag.String("out", "BENCH_9.json", "durable mode: JSON report path (empty = print table only)")
+		snapEvF   = flag.Int("snap-every", 0, "durable mode: snapshot cadence in logged ops per queue (0 = final snapshot only)")
+		segBytesF = flag.Int("seg-bytes", 0, "durable mode: WAL segment size in bytes (0 = default 1 MiB; also the mmap preallocation unit)")
+		backendF  = flag.String("wal-backend", "", `durable mode: store backend "mmap", "file", or empty for the platform default`)
+		recoverF  = flag.Bool("recover", false, "recovery mode: measure the cold-start replay rate (M items/s) against WAL tail length; adds rec: cells to -out (combine with -durable for one combined report)")
+		recAgesF  = flag.String("recover-ages", "0,100000", "recover mode: comma-separated snapshot ages (WAL records logged since the last snapshot at the crash point)")
+		recItems  = flag.Int("recover-items", 200000, "recover mode: live items captured by the snapshot at the crash point")
+		outF      = flag.String("out", "BENCH_10.json", "durable/recover mode: JSON report path (empty = print table only)")
 	)
 	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
@@ -116,17 +124,48 @@ func main() {
 	cli.ValidateQueues("pqbench", queueNames) // validate before burning benchmark time
 	cli.ValidateBatch("pqbench", *batch)
 	cli.ValidateBatch("pqbench", *altBatch)
+	cli.ValidateSnapEvery("pqbench", *snapEvF)
+	cli.ValidateSegBytes("pqbench", *segBytesF)
+	cli.ValidateWALBackend("pqbench", *backendF)
 
-	if *durableF {
-		pre := *prefill
-		if !flagSet("prefill") {
-			// The default 10^6 prefill would log a million inserts before
-			// the first measured op; 10^4 keeps the WAL tax visible and
-			// the run short.
-			pre = 10_000
+	if *durableF || *recoverF {
+		if !*durableF && *queuesF == "" {
+			// Recover-only runs share durable mode's small default set.
+			queueNames = []string{"multiq-s4-b8", "klsm256", "linden"}
 		}
-		runDurableTable(queueNames, threads, wl, kd,
-			*duration, *reps, pre, *batch, *seed, *durWin, *durDir, *outF, *markdown)
+		dir := *durDir
+		if dir == "" {
+			dir = "pqbench-durable.tmp"
+		}
+		exitOn(os.MkdirAll(dir, 0o755))
+		defer os.RemoveAll(dir)
+		dcfg := durConfig{
+			window: *durWin, snapEvery: *snapEvF,
+			segBytes: *segBytesF, backend: *backendF,
+		}
+		var recCells []recCell
+		if *recoverF {
+			ages, err := parseAges(*recAgesF)
+			exitOn(err)
+			recCells = runRecoverTable(queueNames, ages, *recItems, *reps, *seed, dcfg, dir, *markdown)
+		}
+		if *durableF {
+			pre := *prefill
+			if !flagSet("prefill") {
+				// The default 10^6 prefill would log a million inserts before
+				// the first measured op; 10^4 keeps the WAL tax visible and
+				// the run short.
+				pre = 10_000
+			}
+			runDurableTable(queueNames, threads, wl, kd,
+				*duration, *reps, pre, *batch, *seed, dcfg, dir, *outF, *markdown, recCells)
+		} else if *outF != "" {
+			writeDurReport(*outF, durReport{
+				Mode: "recover", Threads: 1, Reps: *reps,
+				Workload: wl.String(), KeyDist: kd.String(),
+				Recover: recCells,
+			})
+		}
 		return
 	}
 
@@ -326,9 +365,23 @@ type durCell struct {
 	Snapshots   uint64  `json:"snapshots"`
 }
 
-// durReport is the BENCH_9.json document: the same envelope as the
-// socket report (BENCH_8.json) with mode "durable" and WAL accounting
-// per cell.
+// recCell is one recovery-rate cell: how fast a cold process rebuilds a
+// queue from a store crashed at a given snapshot age (WAL records logged
+// since the last snapshot). The rate counts every recovered item —
+// snapshot items and replayed tail records alike — per wall second of
+// store-open plus replay plus rebuild.
+type recCell struct {
+	Queue       string  `json:"queue"` // "rec:" + registry name
+	SnapshotAge int     `json:"snapshot_age"`
+	Items       int     `json:"items"` // total items recovered per rep
+	MItemsMean  float64 `json:"mitems_mean"`
+	MItemsCI95  float64 `json:"mitems_ci95"`
+	MillisMean  float64 `json:"millis_mean"`
+}
+
+// durReport is the BENCH_10.json document: the same envelope as the
+// socket report (BENCH_8.json) with mode "durable" (or "recover"), WAL
+// accounting per throughput cell, and the recovery-rate curve.
 type durReport struct {
 	GitSHA     string    `json:"git_sha"`
 	GoVersion  string    `json:"go_version"`
@@ -343,7 +396,47 @@ type durReport struct {
 	Duration   string    `json:"duration"`
 	Reps       int       `json:"reps"`
 	Generated  string    `json:"generated"`
-	Cells      []durCell `json:"cells"`
+	Cells      []durCell `json:"cells,omitempty"`
+	Recover    []recCell `json:"recover,omitempty"`
+}
+
+// durConfig carries the durable-tier tuning flags shared by the
+// throughput and recovery modes.
+type durConfig struct {
+	window    time.Duration
+	snapEvery int
+	segBytes  int
+	backend   string
+}
+
+// writeDurReport stamps the environment fields and writes the report.
+func writeDurReport(out string, doc durReport) {
+	doc.GitSHA = gitSHA()
+	doc.GoVersion = runtime.Version()
+	doc.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	doc.NumCPU = runtime.NumCPU()
+	doc.Generated = time.Now().UTC().Format(time.RFC3339)
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	exitOn(err)
+	buf = append(buf, '\n')
+	exitOn(os.WriteFile(out, buf, 0o644))
+	fmt.Fprintf(os.Stderr, "pqbench: wrote %s\n", out)
+}
+
+// parseAges parses the -recover-ages list ("0,100000").
+func parseAges(s string) ([]int, error) {
+	var ages []int
+	for _, f := range cli.ParseList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("invalid -recover-ages entry %q (want a non-negative op count)", f)
+		}
+		ages = append(ages, n)
+	}
+	if len(ages) == 0 {
+		return nil, fmt.Errorf("-recover-ages is empty")
+	}
+	return ages, nil
 }
 
 // runDurableTable is the -durable mode: a threads × queue table where
@@ -356,15 +449,9 @@ type durReport struct {
 func runDurableTable(queueNames []string, threads []int,
 	wl workload.Kind, kd keys.Distribution,
 	duration time.Duration, reps, prefill, batch int, seed uint64,
-	window time.Duration, dir, out string, markdown bool) {
-	if dir == "" {
-		dir = "pqbench-durable.tmp"
-	}
-	exitOn(os.MkdirAll(dir, 0o755))
-	defer os.RemoveAll(dir)
-
-	fmt.Printf("# durable workload=%s keys=%s prefill=%d duration=%v reps=%d batch=%d window=%v\n",
-		wl, kd, prefill, duration, reps, batch, window)
+	cfg durConfig, dir, out string, markdown bool, recCells []recCell) {
+	fmt.Printf("# durable workload=%s keys=%s prefill=%d duration=%v reps=%d batch=%d window=%v backend=%s\n",
+		wl, kd, prefill, duration, reps, batch, cfg.window, backendLabel(cfg.backend))
 
 	var table cli.Table
 	head := []string{"threads"}
@@ -392,7 +479,10 @@ func runDurableTable(queueNames []string, threads []int,
 							Threads: t,
 							Durable: &cpq.DurableOptions{
 								Dir:               sub,
-								GroupCommitWindow: window,
+								GroupCommitWindow: cfg.window,
+								SnapshotEvery:     cfg.snapEvery,
+								SegmentBytes:      cfg.segBytes,
+								Backend:           cfg.backend,
 								Naive:             naive,
 							},
 						})
@@ -469,27 +559,160 @@ func runDurableTable(queueNames []string, threads []int,
 	if wl == workload.Uniform && kd == keys.Uniform32 {
 		figure = "4a"
 	}
-	doc := durReport{
-		GitSHA:     gitSHA(),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Figure:     figure,
-		Mode:       "durable",
-		Threads:    maxP,
-		Workload:   wl.String(),
-		KeyDist:    kd.String(),
-		Prefill:    prefill,
-		Duration:   duration.String(),
-		Reps:       reps,
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		Cells:      jsonCells,
+	writeDurReport(out, durReport{
+		Figure:   figure,
+		Mode:     "durable",
+		Threads:  maxP,
+		Workload: wl.String(),
+		KeyDist:  kd.String(),
+		Prefill:  prefill,
+		Duration: duration.String(),
+		Reps:     reps,
+		Cells:    jsonCells,
+		Recover:  recCells,
+	})
+}
+
+// backendLabel names the effective WAL backend for table headers.
+func backendLabel(backend string) string {
+	if backend != "" {
+		return backend
 	}
-	buf, err := json.MarshalIndent(doc, "", "  ")
+	if kv.MmapSupported {
+		return "mmap"
+	}
+	return "file"
+}
+
+// runRecoverTable is the -recover mode: for each queue and snapshot age
+// it fabricates a crashed store — `items` live inserts captured by an
+// explicit snapshot, then `age` more logged inserts that only the WAL
+// holds — and times a cold open end to end: store open (mmap + torn-tail
+// scan), manifest + part decode, WAL tail fold, and the rebuild of the
+// in-memory queue. Cells are millions of recovered items per second;
+// the age sweep is the recovery-time curve EXPERIMENTS.md plots.
+func runRecoverTable(queueNames []string, ages []int, items, reps int,
+	seed uint64, cfg durConfig, dir string, markdown bool) []recCell {
+	fmt.Printf("# recover backend=%s items=%d ages=%v reps=%d\n",
+		backendLabel(cfg.backend), items, ages, reps)
+
+	var table cli.Table
+	head := []string{"age"}
+	for _, name := range queueNames {
+		head = append(head, "rec:"+name)
+	}
+	table.AddRow(head...)
+
+	var cells []recCell
+	for _, age := range ages {
+		row := []string{fmt.Sprintf("%d", age)}
+		for qi, name := range queueNames {
+			sub := filepath.Join(dir, fmt.Sprintf("rec-%02d-%d", qi, age))
+			buildCrashedStore(name, sub, items, age, seed, cfg)
+
+			total := items + age
+			var rates []float64
+			var millis float64
+			for rep := 0; rep < reps; rep++ {
+				inner, err := cpq.NewQueue(name, cpq.Options{Threads: 1})
+				exitOn(err)
+				start := time.Now()
+				store := openRecStore(sub, cfg)
+				q, err := durable.Wrap(inner, durable.Options{
+					Store:        store,
+					SegmentBytes: cfg.segBytes,
+				})
+				exitOn(err)
+				dt := time.Since(start)
+				// The wrapper does not own an explicitly-passed store, and
+				// Close would snapshot-and-truncate — mutating the fixture
+				// for the next rep. Drop the queue, close the store.
+				_ = q
+				exitOn(store.Close())
+				rates = append(rates, float64(total)/dt.Seconds()/1e6)
+				millis += float64(dt.Milliseconds())
+			}
+			s := stats.Summarize(rates)
+			row = append(row, fmt.Sprintf("%.3f ±%.3f", s.Mean, s.CI95))
+			cells = append(cells, recCell{
+				Queue: "rec:" + name, SnapshotAge: age, Items: total,
+				MItemsMean: round3(s.Mean), MItemsCI95: round3(s.CI95),
+				MillisMean: round3(millis / float64(reps)),
+			})
+		}
+		table.AddRow(row...)
+	}
+	if markdown {
+		fmt.Print(table.Markdown())
+	} else {
+		fmt.Print(table.String())
+	}
+	fmt.Println("# cells are millions of items recovered per second (store open + replay + queue rebuild), mean ±95% CI")
+	return cells
+}
+
+// buildCrashedStore logs `items` inserts, snapshots, logs `age` more,
+// and abandons the queue without Close — the store is left exactly as a
+// crash would leave it: a committed manifest plus an `age`-record WAL
+// tail, every record group-commit fsynced.
+func buildCrashedStore(name, sub string, items, age int, seed uint64, cfg durConfig) {
+	inner, err := cpq.NewQueue(name, cpq.Options{Threads: 1})
 	exitOn(err)
-	buf = append(buf, '\n')
-	exitOn(os.WriteFile(out, buf, 0o644))
-	fmt.Fprintf(os.Stderr, "pqbench: wrote %s\n", out)
+	store := openRecStore(sub, cfg)
+	q, err := durable.Wrap(inner, durable.Options{
+		Store:             store,
+		GroupCommitWindow: cfg.window,
+		SegmentBytes:      cfg.segBytes,
+	})
+	exitOn(err)
+	h := q.Handle()
+	const chunk = 4096 // batch the load: one group commit per chunk, not per item
+	buf := make([]pq.KV, 0, chunk)
+	flush := func() {
+		if len(buf) > 0 {
+			pq.InsertN(h, buf)
+			buf = buf[:0]
+		}
+	}
+	for i := 0; i < items; i++ {
+		v := seed + uint64(i)
+		buf = append(buf, pq.KV{Key: v * 2654435761 % 1_000_000_007, Value: v})
+		if len(buf) == chunk {
+			flush()
+		}
+	}
+	flush()
+	exitOn(q.Snapshot())
+	for i := 0; i < age; i++ {
+		v := seed + uint64(items+i)
+		buf = append(buf, pq.KV{Key: v * 2654435761 % 1_000_000_007, Value: v})
+		if len(buf) == chunk {
+			flush()
+		}
+	}
+	flush()
+	// No Close: closing would take a final snapshot and erase the tail.
+	// Acked batches are already fsynced, so this store is the crash image.
+	exitOn(store.Close())
+}
+
+// openRecStore opens the recovery fixture directory with the configured
+// (or platform-default) backend — the same selection durable.Wrap makes
+// from a Dir, done here so the benchmark controls the store lifetime.
+func openRecStore(sub string, cfg durConfig) kv.Store {
+	segBytes := cfg.segBytes
+	if segBytes == 0 {
+		segBytes = kv.DefaultSegmentBytes
+	}
+	useMmap := cfg.backend == "mmap" || (cfg.backend == "" && kv.MmapSupported)
+	if useMmap {
+		s, err := kv.OpenMmap(sub, segBytes)
+		exitOn(err)
+		return s
+	}
+	s, err := kv.OpenFile(sub)
+	exitOn(err)
+	return s
 }
 
 func gitSHA() string {

@@ -129,9 +129,16 @@ type workerLog struct {
 
 func replayDir(t *testing.T, dir string) []pq.KV {
 	t.Helper()
-	store, err := kv.OpenFile(dir)
+	// pqd writes through the platform-default backend; open the same one.
+	var store kv.Store
+	var err error
+	if kv.MmapSupported {
+		store, err = kv.OpenMmap(dir, 0)
+	} else {
+		store, err = kv.OpenFile(dir)
+	}
 	if err != nil {
-		t.Fatalf("OpenFile(%s): %v", dir, err)
+		t.Fatalf("open store %s: %v", dir, err)
 	}
 	defer store.Close()
 	items, err := durable.ReplayStore(store)
@@ -155,7 +162,7 @@ func TestKillRecoverConserve(t *testing.T) {
 			dir := t.TempDir()
 			durDir := filepath.Join(dir, "wal")
 			qid := fam + "#kill" // instance tag: exercises per-id log subdirs
-			args := []string{"-addr", "127.0.0.1:0", "-durable", durDir, "-snapshot-every", "100000"}
+			args := []string{"-addr", "127.0.0.1:0", "-durable", durDir, "-snap-every", "100000"}
 
 			child, addr := spawnPQD(t, args...)
 

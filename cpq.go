@@ -219,6 +219,11 @@ type DurableOptions struct {
 	// The fsync-per-op baseline for benchmarks; never what a service
 	// wants.
 	Naive bool
+	// Backend selects the WAL store implementation: "mmap" (preallocated
+	// memory-mapped segments, fails on platforms without mmap), "file"
+	// (plain appends), or "" for the platform default — mmap where
+	// supported, file otherwise. Anything else is a *DurableError.
+	Backend string
 }
 
 // DurableError reports a durable-incompatible NewQueue request — a
@@ -285,6 +290,8 @@ func NewQueue(name string, opts Options) (Queue, error) {
 		reason = "negative SnapshotEvery"
 	case d.SegmentBytes < 0:
 		reason = "negative SegmentBytes"
+	case d.Backend != "" && d.Backend != "mmap" && d.Backend != "file":
+		reason = fmt.Sprintf("unknown Backend %q", d.Backend)
 	}
 	if reason != "" {
 		return nil, &DurableError{Name: name, Reason: reason}
@@ -295,6 +302,7 @@ func NewQueue(name string, opts Options) (Queue, error) {
 		SnapshotEvery:     d.SnapshotEvery,
 		SegmentBytes:      d.SegmentBytes,
 		Naive:             d.Naive,
+		Backend:           d.Backend,
 	})
 	if err != nil {
 		return nil, &DurableError{Name: name, Reason: "open durable store", Err: err}

@@ -132,6 +132,15 @@ const (
 	// widens the window so more producers pile onto one commit ticket.
 	WALFsync
 
+	// SnapManifest is the concurrent snapshot's commit point
+	// (durable/snapshot.go:takeSnapshot), perturbed after the partial
+	// snapshot chunks are durable but before the manifest write that
+	// makes them the recovery base — the window where a crash must fall
+	// back to the previous snapshot plus the full WAL tail. A delay here
+	// stretches the span where orphan part keys exist alongside live
+	// traffic.
+	SnapManifest
+
 	// NumFailpoints bounds per-failpoint state; not a failpoint itself.
 	NumFailpoints
 )
@@ -152,6 +161,7 @@ var fpNames = [NumFailpoints]string{
 	BatchPublish:      "batch-publish",
 	AcquireSteal:      "acquire-steal",
 	WALFsync:          "wal-fsync",
+	SnapManifest:      "snap-manifest",
 }
 
 // String returns the failpoint's short identifier, e.g. "slsm-publish".

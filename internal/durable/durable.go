@@ -14,20 +14,28 @@ import (
 // Options configures a durable wrapper.
 type Options struct {
 	// Store is the backend to persist through. If nil, Dir must name a
-	// directory and an append-safe file store is opened there (and owned:
+	// directory and a store is opened there per Backend (and owned:
 	// Close closes it).
 	Store kv.Store
-	// Dir is where to open a kv file store when Store is nil.
+	// Dir is where to open a kv store when Store is nil.
 	Dir string
+	// Backend selects the store opened at Dir when Store is nil:
+	//   ""     — preallocated mmap segments where the platform supports
+	//            them, the plain file store otherwise (the default);
+	//   "mmap" — preallocated mmap segments, error if unsupported;
+	//   "file" — the O_APPEND file store.
+	// Anything else is an error.
+	Backend string
 	// GroupCommitWindow is an optional dally the commit leader takes
 	// before claiming the pending buffer, letting more producers join the
 	// cohort. Zero (the default) is right for most loads: parked
 	// producers pile up behind the in-flight fsync anyway.
 	GroupCommitWindow time.Duration
-	// SnapshotEvery takes a snapshot (logged drain, write, truncate WAL)
-	// every that many logged operations. Zero disables automatic
-	// snapshots; Snapshot can still be called explicitly and Close takes
-	// a final one.
+	// SnapshotEvery triggers a concurrent incremental snapshot (seal,
+	// fold frozen segments, chunked part write, manifest commit, WAL
+	// truncate — producers keep running throughout) every that many
+	// logged operations. Zero disables automatic snapshots; Snapshot can
+	// still be called explicitly and Close takes a final one.
 	SnapshotEvery int
 	// SegmentBytes rotates the WAL to a fresh segment once the current
 	// one exceeds this size. Default 1 MiB.
@@ -74,11 +82,25 @@ type Queue struct {
 	h         pq.Handle  // the only handle the inner queue ever sees
 	one       [1]pq.KV   // scratch for scalar ops; reused under mu
 	opsSince  int
-	nextSnap  uint64
 	snapshots atomic.Uint64
 	closed    bool
 	closeErr  error
-	drainBuf  []pq.KV // reused by snapshot drains
+
+	// Snapshot state. snapMu serializes snapshotters (the background
+	// goroutine, explicit Snapshot calls, Close's final pass); everything
+	// below it is touched only with snapMu held. Producers never take
+	// snapMu — a snapshot's only contact with the hot path is the WAL
+	// mutex for the instants of the seal.
+	snapMu     sync.Mutex
+	snapWG     sync.WaitGroup  // in-flight background snapshot
+	snapActive atomic.Bool     // a background snapshot is queued/running
+	nextSnap   uint64          // next snapshot index to claim
+	baseCounts map[pq.KV]int   // live multiset as of baseSeg
+	baseSeg    uint64          // first WAL segment not folded into baseCounts
+	recoverSeg uint64          // segments below this came from a previous process
+	snapHook   func(SnapPhase) // test hook at snapshot phase boundaries
+
+	closeMu sync.Mutex // serializes Close end-to-end (idempotent result)
 }
 
 // Wrap opens (or recovers) a durable queue over inner. If the store
@@ -87,21 +109,35 @@ type Queue struct {
 // operations, and logging continues in a fresh WAL segment (recovered
 // segments are never appended to).
 func Wrap(inner pq.Queue, opts Options) (*Queue, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
 	store := opts.Store
 	own := false
 	if store == nil {
 		if opts.Dir == "" {
 			return nil, fmt.Errorf("durable: Options needs a Store or a Dir")
 		}
-		fs, err := kv.OpenFile(opts.Dir)
-		if err != nil {
-			return nil, fmt.Errorf("durable: open file store: %w", err)
+		var err error
+		switch opts.Backend {
+		case "", "mmap":
+			if kv.MmapSupported {
+				store, err = kv.OpenMmap(opts.Dir, opts.SegmentBytes)
+				break
+			}
+			if opts.Backend == "mmap" {
+				return nil, fmt.Errorf("durable: backend %q is not supported on this platform", opts.Backend)
+			}
+			store, err = kv.OpenFile(opts.Dir)
+		case "file":
+			store, err = kv.OpenFile(opts.Dir)
+		default:
+			return nil, fmt.Errorf("durable: unknown backend %q (want \"mmap\" or \"file\")", opts.Backend)
 		}
-		store = fs
+		if err != nil {
+			return nil, fmt.Errorf("durable: open store: %w", err)
+		}
 		own = true
-	}
-	if opts.SegmentBytes <= 0 {
-		opts.SegmentBytes = 1 << 20
 	}
 
 	st, err := replayStore(store)
@@ -118,15 +154,18 @@ func Wrap(inner pq.Queue, opts Options) (*Queue, error) {
 		name = "dur-naive:" + inner.Name()
 	}
 	q := &Queue{
-		inner:     inner,
-		name:      name,
-		store:     store,
-		ownStore:  own,
-		w:         newWAL(store, st.nextSeg, opts.Naive, opts.GroupCommitWindow, opts.SegmentBytes, tel),
-		tel:       tel,
-		snapEvery: opts.SnapshotEvery,
-		h:         inner.Handle(),
-		nextSnap:  st.nextSnap,
+		inner:      inner,
+		name:       name,
+		store:      store,
+		ownStore:   own,
+		w:          newWAL(store, st.nextSeg, opts.Naive, opts.GroupCommitWindow, opts.SegmentBytes, tel),
+		tel:        tel,
+		snapEvery:  opts.SnapshotEvery,
+		h:          inner.Handle(),
+		nextSnap:   st.nextSnap,
+		baseCounts: st.base,
+		baseSeg:    st.baseSeg,
+		recoverSeg: st.nextSeg,
 	}
 	if len(st.items) > 0 {
 		if telemetry.Enabled {
@@ -210,68 +249,44 @@ func (q *Queue) deleteMinN(dst []pq.KV, n int) (int, uint64, bool) {
 }
 
 // maybeSnapshotLocked triggers the periodic snapshot. Called with q.mu
-// held, right after an op's record was appended.
+// held, right after an op's record was appended. The snapshot itself
+// runs on a background goroutine — the producer that crossed the
+// threshold only flips a flag and spawns; it never waits for the
+// snapshot, which is the whole point of the concurrent protocol. If a
+// snapshot is still in flight when the next threshold is crossed, the
+// trigger is skipped (the counter restarts, so pressure just shortens
+// the gap to the next attempt).
 func (q *Queue) maybeSnapshotLocked() {
 	q.opsSince++
 	if q.snapEvery <= 0 || q.opsSince < q.snapEvery {
 		return
 	}
-	q.snapshotLocked()
-}
-
-// snapshotLocked seals the WAL (pending records synced, fresh segment),
-// drains the inner queue through its logged batch path, writes the
-// snapshot, truncates superseded segments, and reinserts the drained
-// items. q.mu held throughout: no operation can interleave, so the
-// snapshot is a consistent cut.
-func (q *Queue) snapshotLocked() {
-	nextSeg, err := q.w.seal()
-	if err != nil {
-		return // sticky error already recorded; surfaces via Err/Close
-	}
-	pq.Flush(q.h)
-	if cap(q.drainBuf) == 0 {
-		q.drainBuf = make([]pq.KV, 4096)
-	}
-	var items []pq.KV
-	for {
-		got := pq.DeleteMinN(q.h, q.drainBuf, len(q.drainBuf))
-		if got == 0 {
-			break
-		}
-		items = append(items, q.drainBuf[:got]...)
-	}
-	err = writeSnapshot(q.store, q.nextSnap, nextSeg, items)
-	if err != nil {
-		q.w.mu.Lock()
-		if q.w.err == nil {
-			q.w.err = err
-		}
-		q.w.mu.Unlock()
-	} else {
-		q.nextSnap++
-		q.snapshots.Add(1)
-		if telemetry.Enabled {
-			q.tel.Inc(telemetry.DurSnapshot)
-		}
-	}
-	// Reinsert whether or not the snapshot landed — the items must stay
-	// live either way (on failure the old snapshot + WAL still cover them).
-	for off := 0; off < len(items); off += 1 << 12 {
-		end := min(off+1<<12, len(items))
-		pq.InsertN(q.h, items[off:end])
-	}
 	q.opsSince = 0
+	if !q.snapActive.CompareAndSwap(false, true) {
+		return
+	}
+	q.snapWG.Add(1) // under q.mu: Close observes the Add before closed stops new triggers
+	go func() {
+		defer q.snapWG.Done()
+		defer q.snapActive.Store(false)
+		q.snapMu.Lock()
+		defer q.snapMu.Unlock()
+		q.takeSnapshot()
+	}()
 }
 
-// Snapshot forces a snapshot now (tests; pqd's graceful drain).
+// Snapshot forces a snapshot now and waits for it (tests; pqd's graceful
+// drain). Unlike the background trigger it reports the sticky error.
 func (q *Queue) Snapshot() error {
+	q.snapMu.Lock()
+	defer q.snapMu.Unlock()
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
+	closed := q.closed
+	q.mu.Unlock()
+	if closed {
 		return q.closeErr
 	}
-	q.snapshotLocked()
+	q.takeSnapshot()
 	return q.Err()
 }
 
@@ -287,27 +302,40 @@ func (q *Queue) Sync() error {
 	return q.w.barrier()
 }
 
-// Close implements pq.Closer: syncs the log, takes a final snapshot so
-// the next open recovers from a compact store, and releases the backend
-// if this wrapper opened it. Idempotent and nil-safe.
+// Close implements pq.Closer: stops new operations, drains any in-flight
+// background snapshot, takes a final synchronous snapshot so the next
+// open recovers from a compact store, and releases the backend if this
+// wrapper opened it. Idempotent and nil-safe.
 func (q *Queue) Close() error {
 	if q == nil {
 		return nil
 	}
+	q.closeMu.Lock()
+	defer q.closeMu.Unlock()
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
-		return q.closeErr
+		err := q.closeErr
+		q.mu.Unlock()
+		return err
 	}
 	q.closed = true
-	q.snapshotLocked()
-	q.closeErr = q.Err()
+	q.mu.Unlock()
+	// No new ops (closed), so no new triggers; wait out the in-flight
+	// background snapshot, then take the final one on a quiesced log.
+	q.snapWG.Wait()
+	q.snapMu.Lock()
+	q.takeSnapshot()
+	q.snapMu.Unlock()
+	err := q.Err()
 	if q.ownStore {
-		if err := q.store.Close(); err != nil && q.closeErr == nil {
-			q.closeErr = err
+		if cerr := q.store.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
-	return q.closeErr
+	q.mu.Lock()
+	q.closeErr = err
+	q.mu.Unlock()
+	return err
 }
 
 // handle forwards to the Queue. Implements the full capability set so

@@ -130,8 +130,9 @@ func TestRecoveryRoundTrip(t *testing.T) {
 }
 
 // TestSnapshotTruncatesWAL drives enough operations through a small
-// SnapshotEvery that segments must be truncated, then proves recovery
-// still reconstructs the live set from snapshot + tail.
+// SnapshotEvery that background snapshots must fire and truncate
+// segments, then proves recovery still reconstructs the live set from
+// the manifest base + tail.
 func TestSnapshotTruncatesWAL(t *testing.T) {
 	store := kv.NewInmem()
 	q, err := durable.Wrap(newInner(t, "klsm128"), durable.Options{
@@ -146,8 +147,16 @@ func TestSnapshotTruncatesWAL(t *testing.T) {
 	for i := uint64(0); i < 1000; i++ {
 		h.Insert(i, i)
 	}
-	if n := q.Stats().Snapshots; n == 0 {
-		t.Fatal("no snapshots taken despite SnapshotEvery=100")
+	// Snapshots run on background goroutines; quiesce, then check at
+	// least one completed (overlapping triggers legally skip).
+	q.DrainSnapshots()
+	if q.Stats().Snapshots == 0 {
+		t.Fatal("no background snapshot completed despite SnapshotEvery=100")
+	}
+	// One explicit snapshot quiesces the state deterministically: after
+	// it, everything below the newest cut is truncated.
+	if err := q.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
 	}
 	segs, err := store.List("wal/")
 	if err != nil {
@@ -158,12 +167,15 @@ func TestSnapshotTruncatesWAL(t *testing.T) {
 	if len(segs) > 10 {
 		t.Fatalf("%d WAL segments survive snapshotting — truncation not working", len(segs))
 	}
-	snaps, err := store.List("snap/")
+	manifests, err := store.List("manifest/")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(snaps) != 1 {
-		t.Fatalf("%d snapshots in store, want exactly 1 (old ones truncated)", len(snaps))
+	if len(manifests) != 1 {
+		t.Fatalf("%d manifests in store, want exactly 1 (old ones truncated)", len(manifests))
+	}
+	if snaps, _ := store.List("snap/"); len(snaps) != 0 {
+		t.Fatalf("legacy snap/ keys written by the concurrent protocol: %v", snaps)
 	}
 
 	r, err := durable.Wrap(newInner(t, "klsm128"), durable.Options{Store: store})
@@ -412,6 +424,9 @@ func TestReplayDeterminism(t *testing.T) {
 			h.DeleteMin()
 		}
 	}
+	// ReplayStore is a forensic read over a quiescent store; wait out any
+	// in-flight background snapshot before reading.
+	q.DrainSnapshots()
 	a, err := durable.ReplayStore(store)
 	if err != nil {
 		t.Fatal(err)

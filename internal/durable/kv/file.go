@@ -31,27 +31,70 @@ import (
 // a real power loss, persist any prefix of it); it never disturbs bytes
 // that an earlier Sync covered.
 type File struct {
-	dir string
+	dir     string
+	maxOpen int
 
 	mu     sync.Mutex
 	open   map[string]*os.File // O_APPEND descriptors by key
+	use    map[string]uint64   // last-use tick per cached descriptor
+	tick   uint64
 	dirty  map[string]struct{} // appended since last Sync
 	closed bool
 	syncs  uint64
 }
 
-// OpenFile opens (creating if needed) a file store rooted at dir.
+// DefaultMaxOpen caps the cached O_APPEND descriptors per File store. A
+// long-running `pqd -durable` hosts one store per queue instance; with
+// unbounded caching every WAL segment ever appended to would pin an fd
+// until its snapshot deletes it, and a slow snapshot cadence could walk
+// the process into RLIMIT_NOFILE. 128 keeps the steady state (a handful
+// of live segments) fully cached while bounding the pathological case.
+const DefaultMaxOpen = 128
+
+// segSuffix marks a preallocated mmap-store segment file on disk.
+// escapeKey never emits '@', so the suffix cannot collide with any
+// escaped key; the file store uses it only to refuse mmap directories.
+const segSuffix = "@seg"
+
+// OpenFile opens (creating if needed) a file store rooted at dir, with
+// the default descriptor-cache cap.
 func OpenFile(dir string) (*File, error) {
+	return OpenFileLimit(dir, DefaultMaxOpen)
+}
+
+// OpenFileLimit is OpenFile with an explicit cap on cached append
+// descriptors (maxOpen <= 0 means DefaultMaxOpen). When the cap is hit
+// the least-recently-appended descriptor is evicted: fsynced first if it
+// has unsynced appends — eviction must not weaken the Sync barrier —
+// then closed. A later append to that key transparently reopens it.
+func OpenFileLimit(dir string, maxOpen int) (*File, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("kv: empty file store directory")
+	}
+	if maxOpen <= 0 {
+		maxOpen = DefaultMaxOpen
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// A directory written by the mmap store holds "<key>@seg" files this
+	// store cannot interpret; opening it here would silently hide those
+	// keys from List and replay. Refuse rather than lose data.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segSuffix) {
+			return nil, fmt.Errorf("kv: %s holds mmap-store segments (%s); reopen it with the mmap backend", dir, e.Name())
+		}
+	}
 	return &File{
-		dir:   dir,
-		open:  make(map[string]*os.File),
-		dirty: make(map[string]struct{}),
+		dir:     dir,
+		maxOpen: maxOpen,
+		open:    make(map[string]*os.File),
+		use:     make(map[string]uint64),
+		dirty:   make(map[string]struct{}),
 	}, nil
 }
 
@@ -226,6 +269,7 @@ func (s *File) Update(fn func(Tx) error) error {
 		if f, ok := s.open[k]; ok {
 			f.Close()
 			delete(s.open, k)
+			delete(s.use, k)
 			delete(s.dirty, k)
 		}
 		if err := os.Remove(s.path(k)); err != nil && !os.IsNotExist(err) {
@@ -265,23 +309,65 @@ func (s *File) Append(key string, data []byte) error {
 	}
 	f, ok := s.open[key]
 	if !ok {
+		if err := s.evictLocked(); err != nil {
+			return err
+		}
+		existed := true
+		if _, err := os.Stat(s.path(key)); os.IsNotExist(err) {
+			existed = false
+		}
 		var err error
 		f, err = os.OpenFile(s.path(key), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
 		}
 		s.open[key] = f
-		// New directory entry: make the name durable before its contents
-		// matter. (Cheap relative to the data fsyncs; once per segment.)
-		if err := s.syncDir(); err != nil {
-			return err
+		if !existed {
+			// New directory entry: make the name durable before its contents
+			// matter. (Cheap relative to the data fsyncs; once per segment.)
+			if err := s.syncDir(); err != nil {
+				return err
+			}
 		}
 	}
+	s.tick++
+	s.use[key] = s.tick
 	_, err := f.Write(data)
 	if err == nil {
 		s.dirty[key] = struct{}{}
 	}
 	return err
+}
+
+// evictLocked makes room in the descriptor cache for one more entry by
+// closing least-recently-appended descriptors. A dirty descriptor is
+// fsynced before it closes: the Sync barrier promises every append since
+// the last barrier is durable when it returns, and a silently-dropped
+// dirty fd would void that promise for the evicted key.
+func (s *File) evictLocked() error {
+	for len(s.open) >= s.maxOpen {
+		victim := ""
+		var oldest uint64
+		for k := range s.open {
+			if t := s.use[k]; victim == "" || t < oldest {
+				victim, oldest = k, t
+			}
+		}
+		f := s.open[victim]
+		if _, dirty := s.dirty[victim]; dirty {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+			s.syncs++
+			delete(s.dirty, victim)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		delete(s.open, victim)
+		delete(s.use, victim)
+	}
+	return nil
 }
 
 // Sync implements Store: fsync every descriptor appended since last Sync.

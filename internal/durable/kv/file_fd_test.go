@@ -1,0 +1,108 @@
+//go:build linux
+
+package kv
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"testing"
+)
+
+// TestFileFdCapLRU pins the descriptor-cache discipline: the cache never
+// holds more than maxOpen append fds, eviction fsyncs dirty descriptors
+// before closing them (the Sync barrier must not silently skip evicted
+// keys), and every key's content is intact after the churn.
+func TestFileFdCapLRU(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileLimit(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 32
+	for round := 0; round < 3; round++ {
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("wal/%08x", i)
+			if err := s.Append(k, []byte{byte(round)}); err != nil {
+				t.Fatalf("append %s round %d: %v", k, round, err)
+			}
+			s.mu.Lock()
+			n := len(s.open)
+			s.mu.Unlock()
+			if n > 4 {
+				t.Fatalf("descriptor cache grew to %d (cap 4)", n)
+			}
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("wal/%08x", i)
+		v, ok, err := r.Get(k)
+		if err != nil || !ok || string(v) != "\x00\x01\x02" {
+			t.Fatalf("Get(%s) = %q ok=%v err=%v", k, v, ok, err)
+		}
+	}
+}
+
+// TestFileFdCapUnderRlimit is the regression test for the unbounded fd
+// cache: with RLIMIT_NOFILE lowered to just above what the process
+// already holds, appending across far more keys than the remaining
+// headroom must still succeed, because the LRU keeps at most maxOpen
+// descriptors open at once. Before the cap, this walked straight into
+// EMFILE.
+func TestFileFdCapUnderRlimit(t *testing.T) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		t.Skipf("getrlimit: %v", err)
+	}
+	inUse := countOpenFds(t)
+	low := syscall.Rlimit{Cur: uint64(inUse + 24), Max: lim.Max}
+	if low.Cur > lim.Max {
+		t.Skipf("cannot lower RLIMIT_NOFILE below hard limit %d", lim.Max)
+	}
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &low); err != nil {
+		t.Skipf("setrlimit: %v", err)
+	}
+	defer func() {
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+			t.Errorf("restore RLIMIT_NOFILE: %v", err)
+		}
+	}()
+
+	s, err := OpenFileLimit(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// 128 distinct keys against 24 fds of headroom and a cache cap of 8:
+	// only the LRU keeps this under the limit.
+	for i := 0; i < 128; i++ {
+		k := fmt.Sprintf("wal/%08x", i)
+		if err := s.Append(k, []byte("x")); err != nil {
+			t.Fatalf("append %s with lowered RLIMIT_NOFILE: %v", k, err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countOpenFds reports how many descriptors the process currently holds.
+func countOpenFds(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("reading /proc/self/fd: %v", err)
+	}
+	return len(ents)
+}

@@ -7,14 +7,26 @@ import (
 	"testing"
 )
 
-// stores returns every Store implementation under a fresh root.
+// stores returns every Store implementation under a fresh root. The
+// mmap store joins on platforms that have it; its in-process reads give
+// exact byte-for-byte Append/Get semantics like the others (the record-
+// framing requirement only applies to reopen, which the contract test
+// never does — see mmap_test.go for that side).
 func stores(t *testing.T) map[string]Store {
 	t.Helper()
 	f, err := OpenFile(t.TempDir())
 	if err != nil {
 		t.Fatalf("OpenFile: %v", err)
 	}
-	return map[string]Store{"inmem": NewInmem(), "file": f}
+	out := map[string]Store{"inmem": NewInmem(), "file": f}
+	if MmapSupported {
+		m, err := OpenMmap(t.TempDir(), 1<<16)
+		if err != nil {
+			t.Fatalf("OpenMmap: %v", err)
+		}
+		out["mmap"] = m
+	}
+	return out
 }
 
 func TestStoreContract(t *testing.T) {

@@ -1,0 +1,543 @@
+//go:build unix
+
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// DefaultSegmentBytes is the preallocation unit for appended keys when
+// OpenMmap is given no explicit size.
+const DefaultSegmentBytes = 1 << 20
+
+// MmapSupported reports whether this build has the mmap store.
+const MmapSupported = true
+
+// Mmap is the preallocated-segment Store: appended keys live in
+// fixed-size files preallocated up front (fallocate where available) and
+// memory-mapped for reads, so Get and the reopen scan walk the segment
+// zero-copy. Append is a pwrite(2) into the preallocated region plus an
+// atomically-published write offset — no metadata journaling from
+// O_APPEND growth, because the blocks already exist when the first byte
+// lands. Appends deliberately go through write(2) rather than the
+// mapping: a page dirtied through a writable PTE makes every later
+// fdatasync pay a page-table cleaning pass in writeback (rmap walk plus
+// TLB shootdown per page), while a page dirtied via write(2) that was
+// never read-faulted skips it — and the WAL's live segments are written
+// and synced thousands of times per second but only ever read back on
+// recovery, so the group-commit fsync sits on the cheap path. Sync
+// flushes the dirty segments with fdatasync (data pages only; the size
+// never changes after preallocation). Set/Delete keys (snapshots,
+// manifests) are plain files with the same write-temp/fsync/rename
+// discipline as the File store.
+//
+// Because a preallocated segment is physically larger than its logical
+// content, the store must bound the valid tail on reopen. Appended keys
+// are assumed to hold the durable tier's length-prefixed record framing
+// (u32 big-endian body length, body, u32 CRC-32/IEEE trailer): the scan
+// walks whole records and stops at a zero length prefix — impossible as
+// a real body length, guaranteed present because preallocated bytes are
+// zero — and a final record that is structurally short or fails its
+// checksum is discarded as a torn, never-acknowledged tail (see
+// scanRecordTail). In-process the published offset is exact and no scan
+// happens; Get returns every byte appended so far, synced or not.
+type Mmap struct {
+	dir      string
+	segBytes int
+
+	mu     sync.Mutex
+	segs   map[string]*mseg
+	dirty  map[string]struct{}
+	closed bool
+	syncs  uint64
+}
+
+// mseg is one mapped segment. The caller (the WAL's group-commit lock)
+// serializes appends per key; readers synchronize with the writer
+// through the atomic offset, and remap guards the mapping itself against
+// growth and deletion.
+type mseg struct {
+	remap sync.RWMutex // write-locked around munmap/mmap (grow, delete)
+	f     *os.File
+	data  []byte       // the whole mapping; len() == preallocated capacity
+	off   atomic.Int64 // published length of the valid appended prefix
+}
+
+// OpenMmap opens (creating if needed) a preallocated-segment store
+// rooted at dir. segBytes is the preallocation unit for appended keys
+// (0 = DefaultSegmentBytes); existing segment files are mapped and their
+// valid tails re-established by the record scan.
+func OpenMmap(dir string, segBytes int) (*Mmap, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("kv: empty mmap store directory")
+	}
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Mmap{
+		dir:      dir,
+		segBytes: segBytes,
+		segs:     make(map[string]*mseg),
+		dirty:    make(map[string]struct{}),
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		name, ok := strings.CutSuffix(e.Name(), segSuffix)
+		if e.IsDir() || !ok {
+			continue
+		}
+		key, ok := unescapeKey(name)
+		if !ok {
+			continue
+		}
+		seg, err := s.openSeg(filepath.Join(dir, e.Name()))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("kv: reopen segment %s: %w", e.Name(), err)
+		}
+		s.segs[key] = seg
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Mmap) Dir() string { return s.dir }
+
+// Syncs reports how many Sync barriers have completed.
+func (s *Mmap) Syncs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
+}
+
+func (s *Mmap) path(key string) string    { return filepath.Join(s.dir, escapeKey(key)) }
+func (s *Mmap) segPath(key string) string { return s.path(key) + segSuffix }
+
+// pageCeil rounds n up to a whole number of pages (at least one).
+func pageCeil(n int) int {
+	page := os.Getpagesize()
+	if n < page {
+		return page
+	}
+	return (n + page - 1) / page * page
+}
+
+// newSeg creates and preallocates a segment file sized to hold at least
+// need bytes, and maps it.
+func (s *Mmap) newSeg(path string, need int) (*mseg, error) {
+	size := s.segBytes
+	if need > size {
+		size = need
+	}
+	size = pageCeil(size)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := prealloc(f, int64(size)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return &mseg{f: f, data: data}, nil
+}
+
+// openSeg maps an existing segment file and re-establishes its valid
+// tail with the zero-length-prefix record scan. Bytes beyond the tail —
+// a torn final record, or garbage a previous torn tail left — are zeroed
+// so future scans start from a clean frontier.
+func (s *Mmap) openSeg(path string) (*mseg, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := pageCeil(int(fi.Size()))
+	if int64(size) != fi.Size() {
+		// A crash during preallocation can leave a short file; pad it back
+		// to a page multiple so the mapping never faults past EOF.
+		if err := prealloc(f, int64(size)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	seg := &mseg{f: f, data: data}
+	tail := scanRecordTail(data)
+	// Zero the torn remainder so future scans start from a clean
+	// frontier. The zeros go through pwrite, not the mapping: writing
+	// through the mapping would install writable PTEs, and any page with
+	// a writable PTE makes every later fdatasync writeback pay the
+	// page-table cleaning pass the pwrite append path exists to avoid.
+	lo, hi := len(data), tail
+	for i := tail; i < len(data); i++ {
+		if data[i] != 0 {
+			if i < lo {
+				lo = i
+			}
+			hi = i + 1
+		}
+	}
+	if lo < hi {
+		zeros := make([]byte, hi-lo)
+		for n := 0; n < len(zeros); {
+			m, err := syscall.Pwrite(int(f.Fd()), zeros[n:], int64(lo+n))
+			if err != nil {
+				syscall.Munmap(data)
+				f.Close()
+				return nil, err
+			}
+			n += m
+		}
+	}
+	seg.off.Store(int64(tail))
+	return seg, nil
+}
+
+// Record framing constants mirrored from internal/durable's WAL format
+// (DESIGN.md §8a). The scan only needs the envelope: u32 body length,
+// body bytes, u32 CRC-32/IEEE over the body.
+const (
+	scanHeader  = 4
+	scanTrailer = 4
+)
+
+// scanRecordTail bounds the valid appended prefix of a reopened
+// preallocated segment. It walks length-prefixed records; a zero length
+// prefix marks the frontier (real bodies are never empty, preallocated
+// bytes always are). The final record before the frontier additionally
+// has its checksum verified: a record a crash tore mid-write has intact
+// earlier bytes and zero (or short) later ones, so it is structurally
+// short or checksum-broken — and since a Sync barrier returns only after
+// every prior append is physically durable, a record that fails here was
+// never covered by one, i.e. never acknowledged, and is discarded.
+func scanRecordTail(data []byte) int {
+	off := 0
+	for off+scanHeader <= len(data) {
+		body := int(binary.BigEndian.Uint32(data[off:]))
+		if body == 0 {
+			return off // the zero-length frontier
+		}
+		end := off + scanHeader + body + scanTrailer
+		if end > len(data) {
+			return off // claims bytes past the segment: torn final record
+		}
+		rec := data[off+scanHeader : off+scanHeader+body]
+		crc := binary.BigEndian.Uint32(data[off+scanHeader+body:])
+		if crc32.ChecksumIEEE(rec) != crc {
+			return off // torn (or rotted) final record; discard
+		}
+		off = end
+	}
+	return off
+}
+
+// Get implements Store. For appended keys the value is every byte
+// appended so far (synced or not); for Set keys it is the file content.
+func (s *Mmap) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, errClosed
+	}
+	seg := s.segs[key]
+	s.mu.Unlock()
+	if seg != nil {
+		seg.remap.RLock()
+		if seg.data == nil { // lost a race with an Update delete
+			seg.remap.RUnlock()
+			return nil, false, nil
+		}
+		n := int(seg.off.Load())
+		out := make([]byte, n)
+		copy(out, seg.data[:n])
+		seg.remap.RUnlock()
+		return out, true, nil
+	}
+	buf, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return buf, true, nil
+}
+
+// List implements Store.
+func (s *Mmap) List(prefix string) ([]string, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errClosed
+	}
+	s.mu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, e := range ents {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), segSuffix)
+		key, ok := unescapeKey(name)
+		if !ok || !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// mmapTx stages one Update batch (same shape as fileTx).
+type mmapTx struct {
+	s    *Mmap
+	sets map[string][]byte
+	dels []string
+}
+
+func (tx *mmapTx) Get(key string) ([]byte, bool, error) { return tx.s.Get(key) }
+func (tx *mmapTx) List(prefix string) ([]string, error) { return tx.s.List(prefix) }
+func (tx *mmapTx) Delete(key string)                    { tx.dels = append(tx.dels, key) }
+func (tx *mmapTx) Set(key string, val []byte) {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	tx.sets[key] = cp
+}
+
+// Update implements Store with the File store's discipline: sets via
+// write-temp/fsync/rename, a directory fsync, then deletes (unmapping
+// segments before their files go), then a final directory fsync.
+func (s *Mmap) Update(fn func(Tx) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	s.mu.Unlock()
+	tx := &mmapTx{s: s, sets: make(map[string][]byte)}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	keys := make([]string, 0, len(tx.sets))
+	for k := range tx.sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst := s.path(k)
+		tmp := dst + ".tmp"
+		if err := writeFileSync(tmp, tx.sets[k]); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, dst); err != nil {
+			return err
+		}
+	}
+	if len(tx.sets) > 0 {
+		if err := s.syncDir(); err != nil {
+			return err
+		}
+	}
+	for _, k := range tx.dels {
+		if seg, ok := s.segs[k]; ok {
+			seg.remap.Lock()
+			syscall.Munmap(seg.data)
+			seg.data = nil
+			seg.f.Close()
+			seg.remap.Unlock()
+			delete(s.segs, k)
+			delete(s.dirty, k)
+			if err := os.Remove(s.segPath(k)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		if err := os.Remove(s.path(k)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if len(tx.dels) > 0 {
+		if err := s.syncDir(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Mmap) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Append implements Store: pwrite into the preallocated region, then
+// publish the new offset (pwrite returning orders the page-cache update
+// before the store, so a reader that observes the offset sees the bytes
+// through the mapping). The first append to a key preallocates and maps
+// its segment (and fsyncs the directory so the name survives); an append
+// past the preallocated capacity remaps at double the size, which
+// steady-state WAL rotation never hits.
+func (s *Mmap) Append(key string, data []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errClosed
+	}
+	seg, ok := s.segs[key]
+	if !ok {
+		var err error
+		seg, err = s.newSeg(s.segPath(key), len(data))
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.segs[key] = seg
+		if err := s.syncDir(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.dirty[key] = struct{}{}
+	s.mu.Unlock()
+
+	seg.remap.RLock()
+	if seg.data == nil { // lost a race with an Update delete
+		seg.remap.RUnlock()
+		return fmt.Errorf("kv: append to deleted segment %q", key)
+	}
+	off := int(seg.off.Load())
+	if off+len(data) > len(seg.data) {
+		seg.remap.RUnlock()
+		if err := seg.grow(off + len(data)); err != nil {
+			return err
+		}
+		seg.remap.RLock()
+	}
+	for n := 0; n < len(data); {
+		m, err := syscall.Pwrite(int(seg.f.Fd()), data[n:], int64(off+n))
+		if err != nil {
+			seg.remap.RUnlock()
+			return err
+		}
+		n += m
+	}
+	seg.off.Store(int64(off + len(data)))
+	seg.remap.RUnlock()
+	return nil
+}
+
+// grow remaps the segment at least twice as large. Holding remap
+// write-locked keeps concurrent readers off the dying mapping.
+func (g *mseg) grow(need int) error {
+	g.remap.Lock()
+	defer g.remap.Unlock()
+	size := len(g.data) * 2
+	if need > size {
+		size = need
+	}
+	size = pageCeil(size)
+	if err := syscall.Munmap(g.data); err != nil {
+		return err
+	}
+	g.data = nil
+	if err := prealloc(g.f, int64(size)); err != nil {
+		return err
+	}
+	data, err := syscall.Mmap(int(g.f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return err
+	}
+	g.data = data
+	return nil
+}
+
+// Sync implements Store: flush every segment appended since the last
+// barrier. fdatasync suffices — the file size was fixed at
+// preallocation, so there is no metadata to journal, which is the point
+// of preallocating.
+func (s *Mmap) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	for k := range s.dirty {
+		if seg, ok := s.segs[k]; ok {
+			if err := flushSeg(seg.f); err != nil {
+				return err
+			}
+		}
+		delete(s.dirty, k)
+	}
+	s.syncs++
+	return nil
+}
+
+// Close implements Store.
+func (s *Mmap) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, seg := range s.segs {
+		seg.remap.Lock()
+		if seg.data != nil {
+			if err := syscall.Munmap(seg.data); err != nil && first == nil {
+				first = err
+			}
+			seg.data = nil
+		}
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		seg.remap.Unlock()
+	}
+	s.segs = nil
+	return first
+}

@@ -1,0 +1,33 @@
+//go:build !unix
+
+package kv
+
+import "fmt"
+
+// Mmap is unavailable on platforms without mmap/fallocate support; the
+// durable tier falls back to the File store there (see durable.Options
+// backend selection).
+type Mmap struct{}
+
+// ErrMmapUnsupported reports that this build has no mmap store.
+var ErrMmapUnsupported = fmt.Errorf("kv: mmap store is not supported on this platform")
+
+// MmapSupported reports whether this build has the mmap store.
+const MmapSupported = false
+
+// DefaultSegmentBytes mirrors the unix build's preallocation unit.
+const DefaultSegmentBytes = 1 << 20
+
+// OpenMmap always fails on non-unix builds.
+func OpenMmap(dir string, segBytes int) (*Mmap, error) {
+	return nil, ErrMmapUnsupported
+}
+
+func (s *Mmap) Get(key string) ([]byte, bool, error) { return nil, false, ErrMmapUnsupported }
+func (s *Mmap) List(prefix string) ([]string, error) { return nil, ErrMmapUnsupported }
+func (s *Mmap) Update(fn func(Tx) error) error       { return ErrMmapUnsupported }
+func (s *Mmap) Append(key string, data []byte) error { return ErrMmapUnsupported }
+func (s *Mmap) Sync() error                          { return ErrMmapUnsupported }
+func (s *Mmap) Close() error                         { return nil }
+func (s *Mmap) Dir() string                          { return "" }
+func (s *Mmap) Syncs() uint64                        { return 0 }

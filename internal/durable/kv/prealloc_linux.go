@@ -1,0 +1,31 @@
+//go:build linux
+
+package kv
+
+import (
+	"os"
+	"syscall"
+)
+
+// prealloc reserves size bytes of real blocks for f. fallocate both
+// extends the inode size and allocates the extents, so later appends
+// into the mapping dirty only data pages — no metadata journaling on
+// the hot path, which is the point of preallocating.
+func prealloc(f *os.File, size int64) error {
+	if err := syscall.Fallocate(int(f.Fd()), 0, 0, size); err != nil {
+		// Filesystems without fallocate (tmpfs on old kernels, overlay
+		// corners) report EOPNOTSUPP; fall back to an explicit truncate.
+		if err == syscall.EOPNOTSUPP || err == syscall.ENOSYS {
+			return f.Truncate(size)
+		}
+		return err
+	}
+	return nil
+}
+
+// flushSeg makes a segment's appended bytes durable. The size was fixed
+// at preallocation time, so fdatasync (data pages, no inode update)
+// suffices for the durability barrier.
+func flushSeg(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}

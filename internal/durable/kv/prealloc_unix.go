@@ -1,0 +1,18 @@
+//go:build unix && !linux
+
+package kv
+
+import "os"
+
+// prealloc on non-Linux unix: extend the inode with truncate. This does
+// not guarantee block allocation the way fallocate does, but it keeps
+// the mapping in bounds, which is the correctness requirement; the
+// metadata-journaling optimisation is best-effort per platform.
+func prealloc(f *os.File, size int64) error {
+	return f.Truncate(size)
+}
+
+// flushSeg falls back to a full fsync where fdatasync isn't portable.
+func flushSeg(f *os.File) error {
+	return f.Sync()
+}

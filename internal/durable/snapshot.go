@@ -4,30 +4,254 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"strconv"
 	"strings"
 
+	"cpq/internal/chaos"
 	"cpq/internal/durable/kv"
 	"cpq/internal/pq"
+	"cpq/internal/telemetry"
 )
 
-// Snapshot format (DESIGN.md §8c), stored at "snap/%016x" with a
-// monotonically increasing index. All integers big-endian:
+// Concurrent incremental snapshots (DESIGN.md §8c).
 //
-//	u64 nextSeg — first WAL segment NOT covered by this snapshot; replay
-//	              starts there
-//	u32 count   — number of live items
-//	count × (u64 key, u64 value)
-//	u32 crc     — IEEE CRC-32 over everything above
+// A snapshot no longer touches the inner queue at all. The snapshotter
+// seals the WAL — cutting a fresh segment, so everything below the cut
+// is a frozen, fully-synced operation prefix — and computes the live set
+// *of that prefix* by folding the frozen segments into a cached multiset
+// (baseCounts) that persists between snapshots, so each snapshot only
+// reads the segments written since the previous one. The result is
+// written as chunked partial-snapshot records under "part/%016x",
+// concurrently with live traffic appending to segments at and above the
+// cut, then committed with one atomic manifest write and truncated.
+// Producers never park for more than one group-commit window: the only
+// shared state a snapshot holds is the WAL mutex for the instants of the
+// seal's buffer claim.
 //
-// The snapshot/truncate rule: the snapshot is written (durably, via
-// kv.Update's set-before-delete ordering) in the same batch that deletes
-// the segments below nextSeg and any older snapshots. A crash before the
-// batch leaves the old snapshot + full WAL (replay works); a crash after
-// leaves the new snapshot + tail (replay works); kv's per-key atomicity
-// means no in-between state mixes the two incompatibly — at worst both
-// snapshots and all segments coexist, and recovery picks the newest
-// snapshot whose segments are present.
+// On-store layout per snapshot index i:
+//
+//	part/%016x     — appended chunks, each a kind-4 WAL-framed record of
+//	                 up to snapChunkItems (key,value) pairs; synced
+//	                 before the manifest commits
+//	manifest/%016x — u64 nextSeg (first segment NOT covered), u64 count
+//	                 (total pairs across the chunks), u32 CRC-32/IEEE;
+//	                 written with kv.Update, i.e. atomically — this
+//	                 write IS the commit point
+//
+// Recovery trusts a part only through its manifest: an orphan part
+// (crash before the manifest landed) is garbage, never read and never
+// appended to (snapshot indices are claimed past every orphan), and is
+// swept by the next successful snapshot's truncate. The legacy
+// monolithic "snap/%016x" format from the seal-and-drain era is still
+// read for migration but never written.
+
+// SnapPhase identifies a phase boundary of the concurrent snapshot;
+// crash-capture tests clone the store at each to prove recovery works
+// from every intermediate state.
+type SnapPhase int
+
+const (
+	// SnapBegin: the WAL is sealed at the cut and the begin marker is in
+	// the pending buffer; nothing snapshot-related is on the store yet.
+	SnapBegin SnapPhase = iota
+	// SnapChunk: at least one partial-snapshot chunk has been appended
+	// (not necessarily synced); the manifest does not exist.
+	SnapChunk
+	// SnapPreManifest: every chunk is written and synced; the manifest
+	// write is next. A crash here leaves a complete orphan part.
+	SnapPreManifest
+	// SnapPostManifest: the manifest is durable — the snapshot is
+	// committed — but superseded segments are not yet truncated.
+	SnapPostManifest
+)
+
+// snapChunkItems is the pair count per partial-snapshot chunk record:
+// 16 KiB of pairs per append, small enough to interleave with live
+// group commits on the same store, large enough to amortize framing.
+const snapChunkItems = 1024
+
+func snapKey(i uint64) string     { return fmt.Sprintf("snap/%016x", i) }
+func partKey(i uint64) string     { return fmt.Sprintf("part/%016x", i) }
+func manifestKey(i uint64) string { return fmt.Sprintf("manifest/%016x", i) }
+
+// parseIndexed extracts the hex index from a "wal/%016x"-shaped key;
+// ok is false for keys this package never wrote.
+func parseIndexed(key, prefix string) (uint64, bool) {
+	rest, found := strings.CutPrefix(key, prefix)
+	if !found || len(rest) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// encodeManifest builds the 20-byte commit record: the first WAL segment
+// NOT covered by the snapshot, the total pair count its part must hold,
+// and a checksum.
+func encodeManifest(nextSeg, count uint64) []byte {
+	buf := make([]byte, 0, 8+8+4)
+	buf = binary.BigEndian.AppendUint64(buf, nextSeg)
+	buf = binary.BigEndian.AppendUint64(buf, count)
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+func decodeManifest(data []byte) (nextSeg, count uint64, err error) {
+	if len(data) != 8+8+4 {
+		return 0, 0, fmt.Errorf("%w: manifest is %d bytes, want 20", ErrCorrupt, len(data))
+	}
+	body, crc := data[:16], binary.BigEndian.Uint32(data[16:])
+	if crc32.Checksum(body, crcTable) != crc {
+		return 0, 0, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	return binary.BigEndian.Uint64(body), binary.BigEndian.Uint64(body[8:]), nil
+}
+
+// flattenCounts expands a live multiset into the deterministic sorted
+// item slice every consumer of recovery state relies on.
+func flattenCounts(counts map[pq.KV]int) []pq.KV {
+	items := make([]pq.KV, 0, len(counts))
+	for it, c := range counts {
+		for j := 0; j < c; j++ {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Key != items[b].Key {
+			return items[a].Key < items[b].Key
+		}
+		return items[a].Value < items[b].Value
+	})
+	return items
+}
+
+// takeSnapshot runs one concurrent incremental snapshot. Callers hold
+// q.snapMu (one snapshotter at a time) and never q.mu — producers run
+// freely throughout. Errors poison the WAL sticky, exactly like a failed
+// commit; the previous snapshot plus the un-truncated WAL still cover
+// every acknowledged item, so a failed snapshot loses nothing.
+func (q *Queue) takeSnapshot() {
+	snapIdx := q.nextSnap
+	cut, err := q.w.seal()
+	if err != nil {
+		return // sticky error already recorded; surfaces via Err/Close
+	}
+	q.w.appendMarker(snapIdx, cut)
+	q.snapPhase(SnapBegin)
+
+	// Fold the segments frozen since the last snapshot into the cached
+	// base multiset. Only segments recovered from a previous process may
+	// legally end torn (their tear predates this process's first sync);
+	// anything this process sealed is complete or the store is lying.
+	if err := foldSegments(q.store, q.baseSeg, cut, q.baseCounts, q.recoverSeg); err != nil {
+		q.poison(err)
+		return
+	}
+	q.baseSeg = cut
+	items := flattenCounts(q.baseCounts)
+
+	// Write the chunked part concurrently with live traffic. Each chunk
+	// is one WAL-framed kind-4 record appended to the part key.
+	pk := partKey(snapIdx)
+	var chunkBuf []byte
+	for off := 0; off < len(items); off += snapChunkItems {
+		end := min(off+snapChunkItems, len(items))
+		chunkBuf = appendRecord(chunkBuf[:0], recSnapChunk, items[off:end])
+		if err := q.store.Append(pk, chunkBuf); err != nil {
+			q.poison(err)
+			return
+		}
+		if telemetry.Enabled {
+			q.tel.Inc(telemetry.DurSnapChunk)
+		}
+		if off == 0 {
+			q.snapPhase(SnapChunk)
+		}
+	}
+	if len(items) > 0 {
+		// Make the chunks durable before the manifest can reference them.
+		// This Sync may interleave with a commit leader's — harmless: the
+		// store serializes barriers, and an extra fsync of the live WAL
+		// segment only makes records durable sooner.
+		if err := q.store.Sync(); err != nil {
+			q.poison(err)
+			return
+		}
+	}
+	q.snapPhase(SnapPreManifest)
+	chaos.Perturb(chaos.SnapManifest)
+
+	// The commit point: one atomic manifest write.
+	err = q.store.Update(func(tx kv.Tx) error {
+		tx.Set(manifestKey(snapIdx), encodeManifest(cut, uint64(len(items))))
+		return nil
+	})
+	if err != nil {
+		q.poison(err)
+		return
+	}
+	q.snapPhase(SnapPostManifest)
+
+	// Truncate everything the committed snapshot supersedes: WAL segments
+	// below the cut, older manifests and parts (including orphans from
+	// failed attempts), and any legacy monolithic snapshots.
+	err = q.store.Update(func(tx kv.Tx) error {
+		for _, pfx := range []string{"wal/", "manifest/", "part/", "snap/"} {
+			keys, err := tx.List(pfx)
+			if err != nil {
+				return err
+			}
+			bound := snapIdx
+			if pfx == "wal/" {
+				bound = cut
+			}
+			if pfx == "snap/" {
+				bound = ^uint64(0) // legacy format: always superseded
+			}
+			for _, k := range keys {
+				if i, ok := parseIndexed(k, pfx); ok && i < bound {
+					tx.Delete(k)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		q.poison(err)
+		return
+	}
+	q.nextSnap = snapIdx + 1
+	q.snapshots.Add(1)
+	if telemetry.Enabled {
+		q.tel.Inc(telemetry.DurSnapshot)
+	}
+}
+
+// snapPhase fires the test hook, if installed.
+func (q *Queue) snapPhase(p SnapPhase) {
+	if q.snapHook != nil {
+		q.snapHook(p)
+	}
+}
+
+// poison records a snapshot failure as the WAL's sticky error.
+func (q *Queue) poison(err error) {
+	q.w.mu.Lock()
+	if q.w.err == nil {
+		q.w.err = err
+	}
+	q.w.mu.Unlock()
+}
+
+// --- Legacy monolithic snapshot format (read-only, migration) ---------
+
+// encodeSnapshot is the seal-and-drain era's monolithic format, stored
+// at "snap/%016x": u64 nextSeg, u32 count, count pairs, u32 CRC. Kept so
+// stores written by earlier versions still recover (and so tests can
+// fabricate them); never written by the live snapshot path.
 func encodeSnapshot(nextSeg uint64, items []pq.KV) []byte {
 	buf := make([]byte, 0, 8+4+len(items)*16+4)
 	buf = binary.BigEndian.AppendUint64(buf, nextSeg)
@@ -59,50 +283,4 @@ func decodeSnapshot(data []byte) (nextSeg uint64, items []pq.KV, err error) {
 		items[i] = pq.KV{Key: binary.BigEndian.Uint64(p), Value: binary.BigEndian.Uint64(p[8:])}
 	}
 	return nextSeg, items, nil
-}
-
-func snapKey(i uint64) string { return fmt.Sprintf("snap/%016x", i) }
-
-// parseIndexed extracts the hex index from a "wal/%016x" or "snap/%016x"
-// key; ok is false for keys this package never wrote.
-func parseIndexed(key, prefix string) (uint64, bool) {
-	rest, found := strings.CutPrefix(key, prefix)
-	if !found || len(rest) != 16 {
-		return 0, false
-	}
-	n, err := strconv.ParseUint(rest, 16, 64)
-	if err != nil {
-		return 0, false
-	}
-	return n, true
-}
-
-// writeSnapshot persists items as snapshot snapIdx covering everything
-// below nextSeg, and in the same batch truncates the superseded WAL
-// segments and older snapshots. kv.Update applies the sets before the
-// deletes, so the new snapshot is durable before anything it replaces
-// disappears.
-func writeSnapshot(store kv.Store, snapIdx, nextSeg uint64, items []pq.KV) error {
-	return store.Update(func(tx kv.Tx) error {
-		tx.Set(snapKey(snapIdx), encodeSnapshot(nextSeg, items))
-		segs, err := tx.List("wal/")
-		if err != nil {
-			return err
-		}
-		for _, k := range segs {
-			if i, ok := parseIndexed(k, "wal/"); ok && i < nextSeg {
-				tx.Delete(k)
-			}
-		}
-		snaps, err := tx.List("snap/")
-		if err != nil {
-			return err
-		}
-		for _, k := range snaps {
-			if i, ok := parseIndexed(k, "snap/"); ok && i < snapIdx {
-				tx.Delete(k)
-			}
-		}
-		return nil
-	})
 }

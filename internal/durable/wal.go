@@ -29,7 +29,8 @@ import (
 // WAL record format (DESIGN.md §8a). All integers big-endian:
 //
 //	u32 len   — length of body (kind + count + pairs), excludes len and crc
-//	u8  kind  — 1 = insert batch, 2 = delete batch
+//	u8  kind  — 1 = insert batch, 2 = delete batch,
+//	            3 = snapshot-begin marker, 4 = partial-snapshot chunk
 //	u16 count — number of (key,value) pairs
 //	count × (u64 key, u64 value)
 //	u32 crc   — IEEE CRC-32 over body
@@ -38,9 +39,19 @@ import (
 // actually came out of the inner queue — relaxed queues pop
 // nondeterministically, so replay must not re-run the op, only re-apply
 // its logged effect.
+//
+// Kind 3 (snapshot-begin) is a replay-inert forensic marker the
+// concurrent snapshotter drops into the live WAL tail when it cuts a
+// snapshot: one pair (snapshot index, cut segment). Replay skips it —
+// the snapshot's effect is carried by the manifest, never by the marker.
+// Kind 4 (partial-snapshot chunk) is legal only inside "part/..." keys;
+// inside a WAL segment it is corruption, and vice versa for kinds 1-3
+// inside a part.
 const (
-	recInsert = 1
-	recDelete = 2
+	recInsert    = 1
+	recDelete    = 2
+	recSnapBegin = 3
+	recSnapChunk = 4
 
 	recHeader  = 4         // u32 len
 	recFixed   = 1 + 2     // kind + count
@@ -103,7 +114,7 @@ func decodeRecords(data []byte, fn func(kind byte, kvs []pq.KV) error) error {
 			return fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
 		}
 		kind := rec[0]
-		if kind != recInsert && kind != recDelete {
+		if kind < recInsert || kind > recSnapChunk {
 			return fmt.Errorf("%w: unknown record kind %d at offset %d", ErrCorrupt, kind, off)
 		}
 		count := int(binary.BigEndian.Uint16(rec[1:]))
@@ -306,13 +317,22 @@ func (w *wal) maybeRotateLocked() {
 // whole call, so the log is strictly serial and every op pays its own
 // fsync; no cohort forms. That serialization is the cost group commit
 // exists to remove.
+//
+// It still honors the leading protocol: the concurrent snapshotter's
+// seal runs without the op mutex, so without the flag a naive op's
+// append+sync could interleave with a seal's claim of the same buffer
+// and land bytes in the wrong segment or out of LSN order.
 func (w *wal) logNaive(kind byte, kvs []pq.KV) error {
 	w.mu.Lock()
+	for w.leading { // wait out a concurrent seal
+		w.cond.Wait()
+	}
 	if w.err != nil {
 		err := w.err
 		w.mu.Unlock()
 		return err
 	}
+	w.leading = true
 	w.pending = appendRecord(w.pending, kind, kvs)
 	w.appended++
 	buf := w.pending
@@ -325,6 +345,7 @@ func (w *wal) logNaive(kind byte, kvs []pq.KV) error {
 	err := w.sync(buf)
 	w.mu.Lock()
 	w.spare = buf[:0]
+	w.leading = false
 	if err != nil {
 		if w.err == nil {
 			w.err = err
@@ -334,6 +355,7 @@ func (w *wal) logNaive(kind byte, kvs []pq.KV) error {
 		w.segSize += len(buf)
 		w.maybeRotateLocked()
 	}
+	w.cond.Broadcast()
 	w.mu.Unlock()
 	return err
 }
@@ -349,10 +371,30 @@ func (w *wal) barrier() error {
 	return w.commitWait(lsn)
 }
 
-// seal is called by the snapshot path with the owning Queue's op mutex
-// held (so no new appends can race): it flushes any pending bytes, syncs,
-// and rotates to a fresh segment. Returns the index of that fresh segment
-// — the point from which the WAL tail after the snapshot begins.
+// appendMarker drops a replay-inert snapshot-begin record into the
+// pending buffer: one pair carrying (snapshot index, cut segment). It
+// does not bump the LSN — no producer waits on a marker — so Stats()
+// record counts keep meaning "logged operations". The marker rides the
+// next commit's sync; if the process exits first it simply never lands,
+// which is fine for a record that carries no replay effect.
+func (w *wal) appendMarker(snapIdx, cut uint64) {
+	pair := [1]pq.KV{{Key: snapIdx, Value: cut}}
+	w.mu.Lock()
+	if w.err == nil {
+		w.pending = appendRecord(w.pending, recSnapBegin, pair[:])
+	}
+	w.mu.Unlock()
+}
+
+// seal is the snapshotter's cut: it waits out any in-flight leader,
+// claims and syncs the pending bytes, and rotates to a fresh segment,
+// returning that fresh segment's index — everything below it is frozen.
+// Unlike the group-commit path it is called *without* the owning Queue's
+// op mutex; that is safe because each op appends its record under the op
+// mutex in one appendRecord call, so every record lands wholly on one
+// side of the buffer claim: the frozen prefix below the cut is a
+// consistent operation prefix, exactly what the concurrent snapshot
+// needs (DESIGN.md §8c).
 func (w *wal) seal() (uint64, error) {
 	w.mu.Lock()
 	for w.leading { // wait out an in-flight leader

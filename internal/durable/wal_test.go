@@ -92,6 +92,16 @@ func FuzzWALDecode(f *testing.F) {
 	seed = appendRecord(seed, recInsert, []pq.KV{{Key: 1, Value: 2}, {Key: 3, Value: 4}})
 	seed = appendRecord(seed, recDelete, []pq.KV{{Key: 1, Value: 2}})
 	f.Add(seed)
+	// Snapshot-era kinds: a begin marker mid-log and a partial-snapshot
+	// chunk record as it appears in part/ keys.
+	var marked []byte
+	marked = appendRecord(marked, recInsert, []pq.KV{{Key: 5, Value: 6}})
+	marked = appendRecord(marked, recSnapBegin, []pq.KV{{Key: 3, Value: 17}})
+	marked = appendRecord(marked, recDelete, []pq.KV{{Key: 5, Value: 6}})
+	f.Add(marked)
+	var chunk []byte
+	chunk = appendRecord(chunk, recSnapChunk, []pq.KV{{Key: 9, Value: 1}, {Key: 10, Value: 2}})
+	f.Add(chunk)
 	f.Add(seed[:len(seed)-3])       // torn tail
 	f.Add([]byte{})                 // empty segment
 	f.Add([]byte{0xff, 0xff, 0xff}) // short garbage

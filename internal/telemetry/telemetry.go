@@ -209,13 +209,19 @@ const (
 	// instead of issuing their own (durable/wal.go:commitWait). At high
 	// producer counts this should dominate DurFsync.
 	DurGroupJoin
-	// DurSnapshot counts snapshots taken (durable/snapshot.go:Snapshot):
-	// logged drain, snapshot write, WAL segment truncation.
+	// DurSnapshot counts snapshots committed
+	// (durable/snapshot.go:takeSnapshot): seal, incremental fold,
+	// chunked part write, manifest commit, WAL truncation — all
+	// concurrent with live traffic.
 	DurSnapshot
 	// DurReplayItems counts live items reconstructed by crash recovery
 	// (durable/recover.go:replay) — snapshot items plus WAL-tail inserts
 	// minus logged deletes.
 	DurReplayItems
+	// DurSnapChunk counts partial-snapshot chunk records written by the
+	// concurrent snapshotter (durable/snapshot.go:takeSnapshot) while
+	// producers keep appending to the live WAL tail.
+	DurSnapChunk
 
 	// NumCounters bounds per-shard counter storage; not a counter itself.
 	NumCounters
@@ -260,8 +266,9 @@ var counterMeta = [NumCounters]struct{ name, help string }{
 	DurWALAppend:      {"dur-wal-append", "WAL records appended (one per logged batch op)"},
 	DurFsync:          {"dur-fsync", "durability barriers issued to the backing store"},
 	DurGroupJoin:      {"dur-group-join", "ops that rode another producer's fsync (group commit)"},
-	DurSnapshot:       {"dur-snapshot", "snapshots taken (drain, write, truncate WAL)"},
+	DurSnapshot:       {"dur-snapshot", "concurrent snapshots committed (fold, part, manifest, truncate)"},
 	DurReplayItems:    {"dur-replay-items", "live items reconstructed by crash recovery"},
+	DurSnapChunk:      {"dur-snap-chunk", "partial-snapshot chunks written concurrently with traffic"},
 }
 
 // Name returns the counter's short table identifier, e.g. "slsm-republish".

@@ -37,6 +37,17 @@ type ChurnCell struct {
 	MOpsCI95  float64 `json:"mops_ci95"`
 }
 
+// RecCell is one (queue, snapshot-age) recovery cell from pqbench
+// -recover: the cold-start replay rate in millions of items per second,
+// keyed by how many WAL records had accumulated since the last snapshot
+// when the simulated crash happened.
+type RecCell struct {
+	Queue       string  `json:"queue"` // "rec:" + registry name
+	SnapshotAge int     `json:"snapshot_age"`
+	MItemsMean  float64 `json:"mitems_mean"`
+	MItemsCI95  float64 `json:"mitems_ci95"`
+}
+
 // Report is the subset of a BENCH_*.json document the trend analysis
 // needs. Unknown fields are ignored, so older and newer grid schemas load
 // alike (BENCH_6.json has no churn section; that is not an error).
@@ -50,6 +61,7 @@ type Report struct {
 	Reps      int         `json:"reps"`
 	Cells     []Cell      `json:"cells"`
 	Churn     []ChurnCell `json:"churn"`
+	Recover   []RecCell   `json:"recover"`
 }
 
 // Load reads and decodes one BENCH_*.json report.
@@ -138,6 +150,10 @@ func Diff(base, head *Report) (deltas []Delta, onlyBase, onlyHead []string) {
 	for _, c := range head.Churn {
 		headChurn[id{"churn", c.Queue, c.Lifecycle}] = c
 	}
+	headRec := map[id]RecCell{}
+	for _, c := range head.Recover {
+		headRec[id{"rec", c.Queue, recLabel(c)}] = c
+	}
 
 	for _, b := range base.Cells {
 		k := id{"grid", b.Queue, fmt.Sprintf("w%d", b.BatchWidth)}
@@ -159,6 +175,16 @@ func Diff(base, head *Report) (deltas []Delta, onlyBase, onlyHead []string) {
 		}
 		deltas = append(deltas, mk(k.kind, k.queue, k.label, b.MOpsMean, b.MOpsCI95, h.MOpsMean, h.MOpsCI95))
 	}
+	for _, b := range base.Recover {
+		k := id{"rec", b.Queue, recLabel(b)}
+		baseSeen[k] = true
+		h, ok := headRec[k]
+		if !ok {
+			onlyBase = append(onlyBase, k.kind+" "+k.queue+" "+k.label)
+			continue
+		}
+		deltas = append(deltas, mk(k.kind, k.queue, k.label, b.MItemsMean, b.MItemsCI95, h.MItemsMean, h.MItemsCI95))
+	}
 	for _, c := range head.Cells {
 		k := id{"grid", c.Queue, fmt.Sprintf("w%d", c.BatchWidth)}
 		if !baseSeen[k] {
@@ -171,8 +197,18 @@ func Diff(base, head *Report) (deltas []Delta, onlyBase, onlyHead []string) {
 			onlyHead = append(onlyHead, k.kind+" "+k.queue+" "+k.label)
 		}
 	}
+	for _, c := range head.Recover {
+		k := id{"rec", c.Queue, recLabel(c)}
+		if !baseSeen[k] {
+			onlyHead = append(onlyHead, k.kind+" "+k.queue+" "+k.label)
+		}
+	}
 	return deltas, onlyBase, onlyHead
 }
+
+// recLabel is a RecCell's identity label: the snapshot age it was
+// measured at ("age100000").
+func recLabel(c RecCell) string { return fmt.Sprintf("age%d", c.SnapshotAge) }
 
 // Regressions filters deltas down to the cells that regressed.
 func Regressions(deltas []Delta) []Delta {

@@ -24,6 +24,10 @@ const baseJSON = `{
   ],
   "churn": [
     {"queue": "multiq", "lifecycle": "pool", "mops_mean": 8.0, "mops_ci95": 0.3}
+  ],
+  "recover": [
+    {"queue": "rec:multiq", "snapshot_age": 0, "mitems_mean": 5.0, "mitems_ci95": 0.2},
+    {"queue": "rec:multiq", "snapshot_age": 100000, "mitems_mean": 3.0, "mitems_ci95": 0.2}
   ]
 }`
 
@@ -36,6 +40,10 @@ const headJSON = `{
   ],
   "churn": [
     {"queue": "multiq", "lifecycle": "pool", "mops_mean": 9.5, "mops_ci95": 0.3}
+  ],
+  "recover": [
+    {"queue": "rec:multiq", "snapshot_age": 0, "mitems_mean": 5.1, "mitems_ci95": 0.2},
+    {"queue": "rec:multiq", "snapshot_age": 100000, "mitems_mean": 2.0, "mitems_ci95": 0.2}
   ]
 }`
 
@@ -67,6 +75,14 @@ func TestDiffVerdicts(t *testing.T) {
 	if v := byLabel["churn/multiq/pool"].Verdict; v != Improvement {
 		t.Errorf("churn pool verdict = %v, want %v", v, Improvement)
 	}
+	// Recovery cells diff by (queue, snapshot age): 5.0 -> 5.1 overlaps,
+	// 3.0±0.2 -> 2.0±0.2 is disjoint below.
+	if v := byLabel["rec/rec:multiq/age0"].Verdict; v != Flat {
+		t.Errorf("rec age0 verdict = %v, want %v", v, Flat)
+	}
+	if v := byLabel["rec/rec:multiq/age100000"].Verdict; v != Regression {
+		t.Errorf("rec age100000 verdict = %v, want %v", v, Regression)
+	}
 	if got := byLabel["grid/multiq/w8"].Ratio; got < 0.74 || got > 0.76 {
 		t.Errorf("multiq w8 ratio = %v, want 0.75", got)
 	}
@@ -76,8 +92,9 @@ func TestDiffVerdicts(t *testing.T) {
 	if len(onlyHead) != 1 || onlyHead[0] != "grid klsm128 w1" {
 		t.Errorf("onlyHead = %v, want [grid klsm128 w1]", onlyHead)
 	}
-	if regs := Regressions(deltas); len(regs) != 1 || regs[0].Label != "w8" {
-		t.Errorf("Regressions = %v, want one w8 entry", regs)
+	if regs := Regressions(deltas); len(regs) != 2 ||
+		regs[0].Label != "w8" || regs[1].Label != "age100000" {
+		t.Errorf("Regressions = %v, want w8 and age100000", regs)
 	}
 }
 
